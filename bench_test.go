@@ -1,0 +1,151 @@
+// Package repro's root benchmark suite: one testing.B benchmark per
+// experiment in DESIGN.md's index (F1–F8, T1–T4), plus kernel
+// micro-benchmarks. Each experiment benchmark regenerates its table —
+// `go test -bench=.` therefore re-runs the full evaluation; the rendered
+// tables themselves come from cmd/resilient-bench (see EXPERIMENTS.md).
+package repro
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/comm"
+	"repro/internal/fault"
+	"repro/internal/krylov"
+	"repro/internal/la"
+	"repro/internal/machine"
+	"repro/internal/problems"
+	"repro/internal/skp"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	if testing.Short() && bench.Registry()[id].Slow {
+		b.Skipf("%s is a scaling sweep; skipped in -short mode", id)
+	}
+	for i := 0; i < b.N; i++ {
+		table, err := bench.Run(id, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// --- One benchmark per table/figure (DESIGN.md §3) ---
+
+func BenchmarkF1SkepticalGMRES(b *testing.B)     { runExperiment(b, "F1") }
+func BenchmarkT1DetectionMatrix(b *testing.B)    { runExperiment(b, "T1") }
+func BenchmarkF2LatencyScaling(b *testing.B)     { runExperiment(b, "F2") }
+func BenchmarkF3NoiseAmplification(b *testing.B) { runExperiment(b, "F3") }
+func BenchmarkT2Crossover(b *testing.B)          { runExperiment(b, "T2") }
+func BenchmarkF4LFLRHeat(b *testing.B)           { runExperiment(b, "F4") }
+func BenchmarkF5CPRvsLFLR(b *testing.B)          { runExperiment(b, "F5") }
+func BenchmarkT3CoarseRecovery(b *testing.B)     { runExperiment(b, "T3") }
+func BenchmarkF6FTGMRES(b *testing.B)            { runExperiment(b, "F6") }
+func BenchmarkT4SRPCost(b *testing.B)            { runExperiment(b, "T4") }
+func BenchmarkF7ABFT(b *testing.B)               { runExperiment(b, "F7") }
+func BenchmarkF8IAllreduce(b *testing.B)         { runExperiment(b, "F8") }
+func BenchmarkF9SDCRollback(b *testing.B)        { runExperiment(b, "F9") }
+func BenchmarkF10InvariantChoice(b *testing.B)   { runExperiment(b, "F10") }
+func BenchmarkA1ReductionAblation(b *testing.B)  { runExperiment(b, "A1") }
+func BenchmarkA2SyncSpectrum(b *testing.B)       { runExperiment(b, "A2") }
+
+// --- Kernel micro-benchmarks (real wall-clock, -benchmem) ---
+
+func BenchmarkSpMVPoisson2D(b *testing.B) {
+	a := problems.Poisson2D(256, 256)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	y := make([]float64, a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MatVec(x, y)
+	}
+}
+
+func BenchmarkSkepticalCheckSuite(b *testing.B) {
+	a := problems.ConvDiff2D(64, 64, 20, 10)
+	op := krylov.NewCSROp(a)
+	cs := a.ColSums()
+	x := make([]float64, op.Size())
+	for i := range x {
+		x[i] = 1 + float64(i%5)
+	}
+	y := op.Apply(x)
+	checks := []skp.Check{skp.NonFinite{}, skp.NormBound{ANormInf: op.NormInf()}, skp.Checksum{ColSums: cs}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range checks {
+			if err := c.Validate(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkGMRESSerial(b *testing.B) {
+	a := problems.ConvDiff2D(32, 32, 20, 10)
+	op := krylov.NewCSROp(a)
+	rhs, _ := problems.ManufacturedRHS(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := krylov.GMRES(op, rhs, nil, krylov.GMRESOptions{Restart: 60, Tol: 1e-8, MaxIter: 300})
+		if err != nil || !st.Converged {
+			b.Fatalf("err=%v converged=%v", err, st.Converged)
+		}
+	}
+}
+
+func BenchmarkBitFlipInjection(b *testing.B) {
+	inj := fault.NewVectorInjector(1).WithRate(1e-3)
+	v := make([]float64, 4096)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Pass(v)
+	}
+}
+
+func BenchmarkAllreduceRendezvous(b *testing.B) {
+	// Real-time cost of the simulated collective across goroutines, per
+	// world size: the simulator's own scalability.
+	for _, p := range []int{4, 16, 64} {
+		b.Run("P="+strconv.Itoa(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := comm.Run(comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: 1},
+					func(c *comm.Comm) error {
+						for k := 0; k < 10; k++ {
+							if _, err := c.AllreduceScalar(1, comm.OpSum); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDotProduct(b *testing.B) {
+	x := make([]float64, 1<<16)
+	y := make([]float64, 1<<16)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(len(x) - i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = la.Dot(x, y)
+	}
+}

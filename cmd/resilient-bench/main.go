@@ -1,0 +1,65 @@
+// Command resilient-bench regenerates the experiment tables of this
+// reproduction (DESIGN.md §3). Each experiment instantiates one claim of
+// Heroux, "Toward Resilient Algorithms and Applications" (HPDC 2013).
+//
+// Usage:
+//
+//	resilient-bench -exp F1          # one experiment
+//	resilient-bench -exp F1,F6,T4    # a list
+//	resilient-bench -exp all         # everything (minutes)
+//	resilient-bench -exp fast        # everything except the scaling sweeps
+//	resilient-bench -list            # show the index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	expFlag := flag.String("exp", "fast", "experiment ID(s): comma-separated, 'all', or 'fast'")
+	seed := flag.Uint64("seed", 1, "master seed for fault injection and noise")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	reg := bench.Registry()
+	if *list {
+		for _, id := range bench.IDs() {
+			slow := ""
+			if reg[id].Slow {
+				slow = " (slow)"
+			}
+			fmt.Printf("  %s%s\n", id, slow)
+		}
+		return
+	}
+
+	var ids []string
+	switch *expFlag {
+	case "all":
+		ids = bench.IDs()
+	case "fast":
+		for _, id := range bench.IDs() {
+			if !reg[id].Slow {
+				ids = append(ids, id)
+			}
+		}
+	default:
+		for _, id := range strings.Split(*expFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	for _, id := range ids {
+		table, err := bench.Run(id, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		table.Render(os.Stdout)
+	}
+}

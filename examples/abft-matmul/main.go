@@ -1,0 +1,48 @@
+// ABFT checksummed matrix multiplication (paper §III-A, lineage Huang &
+// Abraham 1984): compute C = A·B with checksum rows/columns, inject a
+// bit flip into the product, and watch the verifier detect, locate, and
+// correct it from pure arithmetic — the classic algorithm-based fault
+// tolerance that Skeptical Programming generalises.
+//
+//	go run ./examples/abft-matmul
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/abft"
+	"repro/internal/fault"
+	"repro/internal/la"
+	"repro/internal/machine"
+)
+
+func main() {
+	const n = 96
+	rng := machine.NewRNG(7)
+	a := la.RandomDense(n, n, rng.Float64)
+	b := la.RandomDense(n, n, rng.Float64)
+	want := a.MatMul(b)
+
+	// Corrupt one element of the product with an exponent-bit flip.
+	i, j, bit := 31, 62, 58
+	var before, after float64
+	inject := func(cf *la.Dense) {
+		before = cf.At(i, j)
+		cf.Set(i, j, fault.FlipBit(before, bit))
+		after = cf.At(i, j)
+	}
+
+	got, rep := abft.Checked(a, b, inject, 0)
+
+	fmt.Printf("injected: C(%d,%d): %.6g -> %.6g (bit %d)\n", i, j, before, after, bit)
+	fmt.Printf("detected:  %v (bad rows %v, bad cols %v)\n", rep.Detected, rep.BadRows, rep.BadCols)
+	fmt.Printf("located:   %v at (%d,%d)\n", rep.Located, rep.Row, rep.Col)
+	fmt.Printf("corrected: %v\n", rep.Corrected)
+	if !got.Equal(want, 1e-8) {
+		log.Fatal("corrected product still differs from the true product")
+	}
+	fmt.Println("the corrected product matches the fault-free one")
+	fmt.Printf("checksum overhead at N=%d: %.1f%% extra flops\n", n,
+		100*(float64((n+1)*(n+1))/float64(n*n)-1))
+}

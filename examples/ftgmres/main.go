@@ -1,0 +1,45 @@
+// FT-GMRES: Selective Reliability Programming in action (paper §II-D /
+// §III-D). Most of the computation — the inner GMRES solves — runs on a
+// fault-injected operator; only the thin outer FGMRES iteration is
+// reliable. The run sweeps fault rates and compares against plain GMRES
+// living entirely on the faulty hardware.
+//
+//	go run ./examples/ftgmres
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fault"
+	"repro/internal/krylov"
+	"repro/internal/la"
+	"repro/internal/problems"
+	"repro/internal/srp"
+)
+
+func main() {
+	a := problems.ConvDiff2D(24, 24, 20, 10)
+	op := krylov.NewCSROp(a)
+	rhs, xstar := problems.ManufacturedRHS(a)
+
+	fmt.Println("rate      variant      converged  iters  err vs x*")
+	for _, rate := range []float64{0, 1e-3, 1e-2} {
+		inj := fault.NewVectorInjector(7).WithRate(rate)
+		res, err := srp.FTGMRES(op, inj, rhs, srp.Options{
+			InnerIters: 20, Tol: 1e-8, MaxOuter: 120,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9.0e %-12s %-10v %-6d %.2e\n", rate, "FT-GMRES",
+			res.Stats.Converged, res.Stats.Iterations, la.NrmInf(la.Sub(res.X, xstar)))
+
+		injP := fault.NewVectorInjector(7).WithRate(rate)
+		st, x := srp.UnreliableGMRES(op, injP, rhs, 40, 1200, 1e-8)
+		fmt.Printf("%-9.0e %-12s %-10v %-6d %.2e\n", rate, "plain",
+			st.Converged, st.Iterations, la.NrmInf(la.Sub(x, xstar)))
+	}
+	fmt.Println("\nFT-GMRES pays a few extra outer iterations; plain GMRES on the")
+	fmt.Println("same hardware eventually returns garbage without saying so.")
+}

@@ -1,0 +1,67 @@
+// Relaxed Bulk-Synchronous Programming (paper §II-B / §III-B): the same
+// CG and GMRES solves, classic versus pipelined, on a virtual machine
+// with OS noise at increasing scale. The pipelined variants overlap
+// their single non-blocking reduction with the SpMV, hiding both
+// collective latency and noise-induced straggling.
+//
+//	go run ./examples/pipelined
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/krylov"
+	"repro/internal/machine"
+)
+
+func perIter(p int, pipelined bool, noise machine.Noise) float64 {
+	const nLocal, iters = 256, 15
+	var out float64
+	err := comm.Run(comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Noise: noise, Seed: 5},
+		func(c *comm.Comm) error {
+			op := dist.NewStencil3(c, nLocal*p, -1, 2.5, -1)
+			b := make([]float64, op.LocalLen())
+			for i := range b {
+				b[i] = 1
+			}
+			var st krylov.Stats
+			var err error
+			if pipelined {
+				_, st, err = krylov.DistPipelinedCG(c, op, b, nil, krylov.DistOptions{Tol: 1e-30, MaxIter: iters})
+			} else {
+				_, st, err = krylov.DistCG(c, op, b, nil, krylov.DistOptions{Tol: 1e-30, MaxIter: iters})
+			}
+			if err != nil {
+				return err
+			}
+			mx, err := c.AllreduceScalar(c.Clock(), comm.OpMax)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				out = mx / float64(st.Iterations)
+			}
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func main() {
+	noise := machine.BernoulliSpike{P: 2e-3, Magnitude: 50}
+	fmt.Println("virtual seconds per CG iteration (quiet | noisy machine)")
+	fmt.Println("P      classic CG            pipelined CG          gain(noisy)")
+	for _, p := range []int{16, 64, 256, 1024} {
+		cq, cn := perIter(p, false, nil), perIter(p, false, noise)
+		pq, pn := perIter(p, true, nil), perIter(p, true, noise)
+		fmt.Printf("%-6d %.3g | %.3g   %.3g | %.3g   %.2fx\n", p, cq, cn, pq, pn, cn/pn)
+	}
+	fmt.Println("\nthe classic solver synchronises twice per iteration and absorbs")
+	fmt.Println("every rank's noise spikes; the pipelined solver hides them behind")
+	fmt.Println("the matrix-vector product (paper §II-B).")
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/krylov"
+	"repro/internal/machine"
+)
+
+// A1 — the reduction-strategy ablation: MGS GMRES (j+1 blocking
+// reductions per step) vs CGS-1 (one blocking merged reduction) vs
+// p1-GMRES (one *non-blocking overlapped* reduction). Comparing the
+// three decomposes p1's gain into "merge the reductions" and "overlap
+// the merged reduction", the design choice DESIGN.md calls out.
+func A1(seed uint64) *Table {
+	t := &Table{
+		ID:      "A1",
+		Title:   "Ablation: where does pipelined GMRES's speedup come from?",
+		Claim:   "§III-B (ablation): merging reductions vs overlapping them are separable design choices",
+		Columns: []string{"P", "MGS (j+1 blocking)", "CGS-1 (1 blocking)", "p1 (1 overlapped)", "merge gain", "overlap gain"},
+	}
+	const nLocal, iters = 256, 15
+	for _, p := range []int{64, 256, 1024, 4096} {
+		mgs := timePerIter(p, nLocal, iters, gmresPair, false, nil, seed)
+		p1 := timePerIter(p, nLocal, iters, gmresPair, true, nil, seed)
+		cgs := cgsTimePerIter(p, nLocal, iters, seed)
+		t.AddRow(fmt.Sprint(p), f(mgs), f(cgs), f(p1), speedup(mgs, cgs), speedup(cgs, p1))
+	}
+	t.Notes = append(t.Notes,
+		"merge gain = MGS/CGS-1 (same algorithm, one merged reduction instead of j+1)",
+		"overlap gain = CGS-1/p1 (same single reduction, hidden behind the SpMV)",
+		"merging dominates at high P because MGS pays the tree latency j+1 times per step",
+		"p1's per-cycle true-residual safeguard (one extra SpMV + reduction) roughly cancels its small overlap gain at these short cycles; longer cycles amortise it")
+	return t
+}
+
+func cgsTimePerIter(p, nLocal, iters int, seed uint64) float64 {
+	cfg := comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: seed}
+	var out float64
+	err := comm.Run(cfg, func(c *comm.Comm) error {
+		op := dist.NewStencil3(c, nLocal*p, -1, 2.5, -1)
+		b := make([]float64, op.LocalLen())
+		for i := range b {
+			b[i] = 1
+		}
+		_, st, err := krylov.DistCGSGMRES(c, op, b, nil, krylov.DistGMRESOptions{Restart: iters, Tol: 1e-30, MaxIter: iters})
+		if err != nil {
+			return err
+		}
+		mx, err := c.AllreduceScalar(c.Clock(), comm.OpMax)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && st.Iterations > 0 {
+			out = mx / float64(st.Iterations)
+		}
+		return nil
+	})
+	if err != nil {
+		return -1
+	}
+	return out
+}
+
+// A2 — time-to-solution across the synchronisation spectrum for an SPD
+// solve: classic CG (2 blocking reductions/iter), pipelined CG (1
+// overlapped), Chebyshev (none, given spectral bounds). Chebyshev needs
+// more iterations (it cannot adapt like CG), so this is a genuine
+// trade-off, not a free win — which is why it is an ablation and not a
+// headline figure.
+func A2(seed uint64) *Table {
+	t := &Table{
+		ID:      "A2",
+		Title:   "Ablation: time-to-solution vs synchronisation frequency (SPD solve)",
+		Claim:   "§III-B (ablation): the fewer reductions per iteration, the flatter the scaling — at the price of iteration count",
+		Columns: []string{"P", "variant", "iters", "reductions", "virtual time (s)"},
+	}
+	const nLocal = 256
+	const tol = 1e-8
+	for _, p := range []int{64, 1024} {
+		n := nLocal * p
+		// Eigenvalue bounds of the (-1, 2.5, -1) chain: 2.5 ± 2cos(π/(n+1)).
+		lmin := 2.5 - 2*math.Cos(math.Pi/float64(n+1))
+		lmax := 2.5 + 2*math.Cos(math.Pi/float64(n+1))
+		for _, variant := range []string{"CG", "pipelined CG", "Chebyshev"} {
+			var st krylov.Stats
+			err := comm.Run(comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: seed}, func(c *comm.Comm) error {
+				op := dist.NewStencil3(c, n, -1, 2.5, -1)
+				b := make([]float64, op.LocalLen())
+				for i := range b {
+					b[i] = 1
+				}
+				var s krylov.Stats
+				var err error
+				switch variant {
+				case "CG":
+					_, s, err = krylov.DistCG(c, op, b, nil, krylov.DistOptions{Tol: tol, MaxIter: 2000})
+				case "pipelined CG":
+					_, s, err = krylov.DistPipelinedCG(c, op, b, nil, krylov.DistOptions{Tol: tol, MaxIter: 2000})
+				default:
+					_, s, err = krylov.DistChebyshev(c, op, b, nil, krylov.ChebyshevOptions{
+						LambdaMin: lmin, LambdaMax: lmax, Tol: tol, MaxIter: 4000, CheckEvery: 25,
+					})
+				}
+				if err != nil {
+					return err
+				}
+				mx, err := c.AllreduceScalar(c.Clock(), comm.OpMax)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					s.VirtualTime = mx
+					st = s
+				}
+				return nil
+			})
+			if err != nil {
+				t.AddRow(fmt.Sprint(p), variant, "ERR", "", "")
+				continue
+			}
+			t.AddRow(fmt.Sprint(p), variant, fmt.Sprint(st.Iterations),
+				fmt.Sprint(st.Reductions), f(st.VirtualTime))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"well-conditioned diagonally dominant chain: Chebyshev's iteration penalty is modest and its reduction count ~iters/25",
+		"on ill-conditioned problems CG's adaptivity wins; the table quantifies the trade, not a universal ranking")
+	return t
+}

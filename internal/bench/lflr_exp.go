@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/cpr"
+	"repro/internal/fault"
+	"repro/internal/la"
+	"repro/internal/lflr"
+	"repro/internal/machine"
+)
+
+func lflrWorld(p int, seed uint64) *comm.World {
+	return comm.NewWorld(comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: seed})
+}
+
+// F4 — explicit heat with LFLR: recovery exactness and cost versus the
+// persistence interval (paper §III-C: "an explicit time-stepping
+// algorithm can be easily implemented to recover locally").
+func F4(seed uint64) *Table {
+	t := &Table{
+		ID:      "F4",
+		Title:   "LFLR explicit heat: bitwise recovery, cost vs persistence interval",
+		Claim:   "§III-C: explicit methods recover locally and cheaply under LFLR",
+		Columns: []string{"persist every", "recovered exactly", "replay steps", "persist overhead", "recovery cost (s)"},
+	}
+	const p = 8
+	base := lflr.HeatConfig{Nx: 48, Ny: 64, Nu: 0.25, Steps: 400}
+
+	// Fault-free reference per persistence interval (persistence itself
+	// costs virtual time, so each k needs its own baseline).
+	for _, k := range []int{1, 5, 20, 50, 100} {
+		cfg := base
+		cfg.PersistEvery = k
+		clean, err := lflr.RunHeat(lflrWorld(p, seed), lflr.NewStore(), cfg)
+		if err != nil {
+			t.AddRow(fmt.Sprint(k), "ERR", "", "", "")
+			continue
+		}
+		// The same run with no persistence at all prices the overhead.
+		noPersist := base
+		noPersist.PersistEvery = base.Steps + 1
+		free, err := lflr.RunHeat(lflrWorld(p, seed), lflr.NewStore(), noPersist)
+		if err != nil {
+			t.AddRow(fmt.Sprint(k), "ERR", "", "", "")
+			continue
+		}
+
+		kill := cfg
+		kill.Killer = &fault.StepKiller{Rank: 3, Step: 237}
+		rec, err := lflr.RunHeat(lflrWorld(p, seed), lflr.NewStore(), kill)
+		if err != nil {
+			t.AddRow(fmt.Sprint(k), "ERR", "", "", "")
+			continue
+		}
+		exact := "yes"
+		for i := range rec.U {
+			if rec.U[i] != clean.U[i] {
+				exact = "NO"
+				break
+			}
+		}
+		overhead := fmt.Sprintf("%.1f%%", 100*(clean.FinalClock-free.FinalClock)/free.FinalClock)
+		t.AddRow(fmt.Sprint(k), exact, fmt.Sprint(rec.ReplaySteps),
+			overhead, f(rec.FinalClock-clean.FinalClock))
+	}
+	t.Notes = append(t.Notes,
+		"48x64 grid on 8 ranks, 400 steps, rank 3 killed at step 237",
+		"recovery = neighbour-replica restore + sender-log halo replay; survivors keep their state",
+		"the persistence interval trades steady-state overhead against per-failure replay work (classic Daly trade-off, locally)")
+	return t
+}
+
+// F5 — CPR vs LFLR time-to-solution as failures become frequent (paper
+// §I/§II-C: kill-and-restart "is not feasible" at scale; local recovery
+// is).
+func F5(seed uint64) *Table {
+	t := &Table{
+		ID:      "F5",
+		Title:   "Global checkpoint/restart vs LFLR: efficiency vs scale",
+		Claim:   "§II-C: at 10^5-10^6 processes, global restart is infeasible; LFLR keeps efficiency high",
+		Columns: []string{"P", "system MTBF (s)", "CPR efficiency", "LFLR efficiency", "CPR/LFLR time"},
+	}
+	const nodeMTBF = 5e6 // seconds; ~58 days per node
+	const work = 1e5     // a ~28-hour capability job
+	for _, p := range []float64{1e2, 1e3, 1e4, 1e5} {
+		mtbf := nodeMTBF / p
+		// Checkpoint cost grows with P (global state through a parallel
+		// file system); LFLR persistence is per-rank local and flat.
+		ckpt := 30 + 2e-3*p
+		pc := cpr.Params{
+			Work: work, MTBF: mtbf, Seed: seed,
+			CheckpointCost: ckpt, RestartCost: 4 * ckpt,
+		}
+		pl := cpr.Params{
+			Work: work, MTBF: mtbf, Seed: seed,
+			PersistCost: 0.5, PersistEvery: 100, RecoveryCost: 5,
+		}
+		rc := cpr.SimulateCPR(pc)
+		rl := cpr.SimulateLFLR(pl)
+		ratio := "n/a"
+		if rl.TotalTime > 0 {
+			ratio = fmt.Sprintf("%.2fx", rc.TotalTime/rl.TotalTime)
+		}
+		t.AddRow(fmt.Sprintf("%.0e", p), f(mtbf),
+			fmt.Sprintf("%.1f%%", 100*rc.Efficiency),
+			fmt.Sprintf("%.1f%%", 100*rl.Efficiency), ratio)
+	}
+	t.Notes = append(t.Notes,
+		"node MTBF 5e6 s; system MTBF = node MTBF / P; CPR checkpoint cost 30s + 2ms/rank (parallel FS), Daly-optimal interval",
+		"LFLR: 0.5 s local persist every 100 s, 5 s recovery + replay of the failed rank's window only")
+	return t
+}
+
+// T3 — implicit heat recovering from a coarsened redundant replica (paper
+// §III-C: "storing a coarse model representation on neighboring processes
+// ... to boot-strap state recovery upon failure").
+func T3(seed uint64) *Table {
+	t := &Table{
+		ID:      "T3",
+		Title:   "Implicit heat: coarse-replica bootstrap recovery quality vs coarsening",
+		Claim:   "§III-C: a coarse redundant model can bootstrap implicit recovery up to truncation error",
+		Columns: []string{"coarsen", "replica size", "final error vs clean", "CG iters (recovery step)", "CG iters (steady)"},
+	}
+	const p = 4
+	base := lflr.ImplicitConfig{Nx: 32, Ny: 48, Nu: 1.0, Steps: 16, CGTol: 1e-10}
+	clean, err := lflr.RunImplicitHeat(lflrWorld(p, seed), lflr.NewStore(), base)
+	if err != nil {
+		t.Notes = append(t.Notes, "clean run failed: "+err.Error())
+		return t
+	}
+	steady := 0
+	if len(clean.CGIters) > 0 {
+		steady = clean.CGIters[len(clean.CGIters)-1]
+	}
+	fullReplica := 0
+
+	for _, c := range []int{1, 2, 4, 8} {
+		cfg := base
+		cfg.Coarsen = c
+		cfg.Killer = &fault.StepKiller{Rank: 1, Step: 8}
+		res, err := lflr.RunImplicitHeat(lflrWorld(p, seed), lflr.NewStore(), cfg)
+		if err != nil {
+			t.AddRow(fmt.Sprint(c), "ERR", err.Error(), "", "")
+			continue
+		}
+		if c == 1 {
+			fullReplica = res.ReplicaFloats
+		}
+		e := la.NrmInf(la.Sub(res.U, clean.U))
+		recIters := "n/a"
+		// CGIters on rank 0 counts post-recovery steps only when rank 0
+		// recovered; use the first post-kill entry of the full history.
+		if len(res.CGIters) > 0 {
+			recIters = fmt.Sprint(maxInt(res.CGIters))
+		}
+		sizeStr := fmt.Sprint(res.ReplicaFloats)
+		if fullReplica > 0 {
+			sizeStr = fmt.Sprintf("%d (%.0f%%)", res.ReplicaFloats, 100*float64(res.ReplicaFloats)/float64(fullReplica))
+		}
+		t.AddRow(fmt.Sprint(c), sizeStr, f(e), recIters, fmt.Sprint(steady))
+	}
+	t.Notes = append(t.Notes,
+		"32x48 grid, 4 ranks, backward Euler (nu=1), rank 1 killed at step 8 of 16",
+		"coarsen=1 is an exact replica: recovery is bitwise; coarser replicas trade memory for a bounded, diffusion-damped bootstrap error")
+	return t
+}
+
+// F9 — SkP detection composed with LFLR recovery: silent field corruption
+// caught by the conservation invariant (§II-A) and repaired by a local
+// rollback to the persistent store (§II-C) — the "rolling back to a
+// previous valid state" recovery the paper names, with no process loss.
+func F9(seed uint64) *Table {
+	t := &Table{
+		ID:      "F9",
+		Title:   "SDC in a PDE field: conservation guard + store rollback vs silent corruption",
+		Claim:   "§II-A+§II-C composed: invariant checks detect SDC; the LFLR store provides the valid state to roll back to",
+		Columns: []string{"flip bit", "guard", "detected", "rollback steps", "final field"},
+	}
+	const p = 8
+	base := lflr.HeatConfig{Nx: 48, Ny: 64, Nu: 0.25, Steps: 400, PersistEvery: 20}
+	clean, err := lflr.RunHeat(lflrWorld(p, seed), lflr.NewStore(), base)
+	if err != nil {
+		t.Notes = append(t.Notes, "clean run failed: "+err.Error())
+		return t
+	}
+	compare := func(u []float64) string {
+		if la.HasNonFinite(u) {
+			return "destroyed (NaN/Inf)"
+		}
+		maxd := 0.0
+		for i := range u {
+			d := u[i] - clean.U[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > maxd {
+				maxd = d
+			}
+		}
+		if maxd == 0 {
+			return "bitwise clean"
+		}
+		return fmt.Sprintf("corrupted (max dev %.2e)", maxd)
+	}
+
+	for _, bit := range []int{62, 57, 30} { // huge / large / mantissa flip
+		for _, guard := range []bool{true, false} {
+			cfg := base
+			cfg.EnergyGuard = guard
+			cfg.SDC = &lflr.SDCEvent{Rank: 3, Step: 237, Index: 7, Bit: bit}
+			res, err := lflr.RunHeat(lflrWorld(p, seed), lflr.NewStore(), cfg)
+			if err != nil {
+				t.AddRow(fmt.Sprint(bit), onOff(guard), "ERR", "", err.Error())
+				continue
+			}
+			t.AddRow(fmt.Sprint(bit), onOff(guard), fmt.Sprint(res.SDCDetections),
+				fmt.Sprint(res.RollbackSteps), compare(res.U))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"one flip into rank 3's field at step 237 (persist interval 20)",
+		"bit 62 strikes a clear bit here → huge upward flip: the guard catches it and rollback restores bitwise; unguarded the field is destroyed",
+		"bit 57 strikes a set bit → downward flip: evades the non-increase detector (T1's asymmetry) with a bounded, diffusion-damped deviation",
+		"bit 30 (mantissa): both undetected and physically negligible — the paper's harmless case")
+	return t
+}
+
+// F10 — invariant choice matters: the advection app's mass conservation
+// is an *equality*, so its skeptical guard is two-sided — it catches the
+// downward flips that F9's energy-decay (inequality) guard must miss.
+// The experiment is the paper's §II-A taken seriously: pick invariants
+// with tight algebraic structure and detection coverage follows.
+func F10(seed uint64) *Table {
+	t := &Table{
+		ID:      "F10",
+		Title:   "Equality vs inequality invariants: mass guard catches both flip directions",
+		Claim:   "§II-A: the quality of skeptical detection is set by the invariant's algebraic tightness",
+		Columns: []string{"flip direction", "heat (energy ≤) guard", "advection (mass =) guard", "advection final field"},
+	}
+	const p = 4
+	heatBase := lflr.HeatConfig{Nx: 16, Ny: 40, Nu: 0.25, Steps: 120, PersistEvery: 20, EnergyGuard: true}
+	advBase := lflr.AdvectConfig{N: 200, C: 0.5, Steps: 120, PersistEvery: 20, MassGuard: true}
+	advClean, err := lflr.RunAdvection(lflrWorld(p, seed), lflr.NewStore(), advBase)
+	if err != nil {
+		t.Notes = append(t.Notes, "clean advection run failed: "+err.Error())
+		return t
+	}
+
+	for _, tc := range []struct {
+		name string
+		bit  int
+	}{
+		{"upward (bit 62)", 62},
+		{"downward (bit 54)", 54},
+	} {
+		// Heat: energy-decay guard.
+		hc := heatBase
+		hc.SDC = &lflr.SDCEvent{Rank: 1, Step: 63, Index: 4, Bit: tc.bit}
+		hres, err := lflr.RunHeat(lflrWorld(p, seed), lflr.NewStore(), hc)
+		heatDet := "ERR"
+		if err == nil {
+			heatDet = pct(hres.SDCDetections, 1)
+		}
+		// Advection: mass-equality guard.
+		ac := advBase
+		ac.SDC = &lflr.SDCEvent{Rank: 1, Step: 63, Index: 4, Bit: tc.bit}
+		ares, err := lflr.RunAdvection(lflrWorld(p, seed), lflr.NewStore(), ac)
+		advDet, field := "ERR", ""
+		if err == nil {
+			advDet = pct(ares.SDCDetections, 1)
+			field = "bitwise clean"
+			for i := range ares.U {
+				if ares.U[i] != advClean.U[i] {
+					field = "corrupted"
+					break
+				}
+			}
+		}
+		t.AddRow(tc.name, heatDet, advDet, field)
+	}
+	t.Notes = append(t.Notes,
+		"same flip schedule in both apps (rank 1, step 63, element 4); both guards use LFLR store rollback on detection",
+		"energy decay is an inequality: only increases are provable corruption; mass conservation is an equality: any drift is",
+		"heat field values here make bit 62 upward and bit 54 downward; detection rates are per single trial (deterministic)")
+	return t
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

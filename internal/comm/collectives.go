@@ -1,0 +1,267 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Op is a reduction operator for Allreduce/Reduce.
+type Op int
+
+// Reduction operators. Sum is evaluated in rank order so results are
+// bitwise deterministic regardless of goroutine scheduling.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) apply(dst, src []float64) {
+	switch o {
+	case OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpMax:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case OpMin:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	default:
+		panic(fmt.Sprintf("comm: unknown reduction op %d", int(o)))
+	}
+}
+
+// collKind distinguishes the collective families so mismatched calls
+// (rank 0 in a Barrier while rank 1 is in an Allreduce) fail loudly
+// instead of silently exchanging garbage.
+type collKind int
+
+const (
+	kindBarrier collKind = iota
+	kindAllreduce
+	kindBroadcast
+	kindAllgather
+)
+
+// collSlot is the rendezvous for one collective call instance. All ranks'
+// k-th collective in an epoch lands in the same slot (MPI's ordering
+// rule). Contributions are stored per rank and reduced in rank order on
+// completion, making floating-point results scheduling-independent.
+type collSlot struct {
+	kind     collKind
+	op       Op
+	root     int
+	cond     *sync.Cond
+	contrib  [][]float64 // contrib[r] = rank r's payload (nil until posted)
+	arrived  int
+	maxPost  float64 // latest post (entry) virtual time
+	done     bool
+	aborted  bool
+	complete float64 // virtual completion time
+	result   []float64
+	departed int // ranks that have consumed the result (slot GC)
+}
+
+// enterColl finds or creates the slot for this rank's next collective and
+// posts the rank's contribution. It returns the slot, or an error if the
+// world is in a failed state. Advances seq.
+func (c *Comm) enterColl(kind collKind, op Op, root int, data []float64) (*collSlot, error) {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := c.checkAliveLocked(); err != nil {
+		return nil, err
+	}
+	key := collKey{epoch: c.epoch, seq: c.seq}
+	c.seq++
+	s, ok := w.colls[key]
+	if !ok {
+		s = &collSlot{
+			kind:    kind,
+			op:      op,
+			root:    root,
+			cond:    sync.NewCond(&w.mu),
+			contrib: make([][]float64, w.n),
+		}
+		w.colls[key] = s
+	} else if s.kind != kind || s.op != op || s.root != root {
+		panic(fmt.Sprintf("comm: collective mismatch at epoch %d seq %d: rank %d called kind=%d op=%d root=%d, slot has kind=%d op=%d root=%d",
+			c.epoch, key.seq, c.rank, kind, op, root, s.kind, s.op, s.root))
+	}
+	// Copy the payload so the caller can reuse its buffer immediately.
+	// A Barrier's nil payload becomes a non-nil empty slice, which is what
+	// marks this rank as arrived in contrib.
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	s.contrib[c.rank] = cp
+	s.arrived++
+	if t := c.clock.Now(); t > s.maxPost {
+		s.maxPost = t
+	}
+	c.stats.Collective++
+	if s.arrived == w.n && !s.done {
+		w.finishCollLocked(s)
+	}
+	return s, nil
+}
+
+// finishCollLocked computes the collective result and completion time once
+// every rank has posted. Called with w.mu held.
+func (w *World) finishCollLocked(s *collSlot) {
+	var msgBytes int
+	switch s.kind {
+	case kindBarrier:
+		msgBytes = 8
+		s.result = nil
+	case kindAllreduce:
+		n := len(s.contrib[0])
+		msgBytes = 8 * n
+		res := make([]float64, n)
+		copy(res, s.contrib[0])
+		for r := 1; r < w.n; r++ {
+			if len(s.contrib[r]) != n {
+				panic("comm: Allreduce length mismatch across ranks")
+			}
+			s.op.apply(res, s.contrib[r])
+		}
+		s.result = res
+	case kindBroadcast:
+		src := s.contrib[s.root]
+		msgBytes = 8 * len(src)
+		res := make([]float64, len(src))
+		copy(res, src)
+		s.result = res
+	case kindAllgather:
+		var total []float64
+		for r := 0; r < w.n; r++ {
+			total = append(total, s.contrib[r]...)
+		}
+		msgBytes = 8 * len(total)
+		s.result = total
+	}
+	s.complete = s.maxPost + w.cost.Collective(w.n, msgBytes)
+	s.done = true
+	w.observeClock(s.complete)
+	s.cond.Broadcast()
+}
+
+// waitColl blocks until the slot completes (or aborts on failure), then
+// synchronises this rank's clock to the completion time and returns the
+// result. The caller must not hold w.mu.
+func (c *Comm) waitColl(s *collSlot, key collKey) ([]float64, error) {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.failed[c.rank] {
+			return nil, ErrKilled
+		}
+		if s.done {
+			break
+		}
+		if w.revoked || c.epoch != w.epoch {
+			s.aborted = true
+			s.cond.Broadcast()
+			return nil, ErrRankFailed
+		}
+		if s.aborted {
+			return nil, ErrRankFailed
+		}
+		s.cond.Wait()
+	}
+	c.clock.SyncTo(s.complete)
+	w.observeClock(c.clock.Now())
+	var out []float64
+	if s.result != nil {
+		out = make([]float64, len(s.result))
+		copy(out, s.result)
+	}
+	s.departed++
+	if s.departed == w.n {
+		delete(w.colls, key)
+	}
+	return out, nil
+}
+
+// key reconstructs the slot key for the collective this rank just
+// entered (seq was already advanced by enterColl).
+func (c *Comm) lastKey() collKey { return collKey{epoch: c.epoch, seq: c.seq - 1} }
+
+// Barrier blocks until every rank arrives; all clocks advance to the
+// common completion time. This is the explicit BSP synchronisation point
+// whose cost the RBSP experiments quantify.
+func (c *Comm) Barrier() error {
+	s, err := c.enterColl(kindBarrier, OpSum, 0, nil)
+	if err != nil {
+		return err
+	}
+	_, err = c.waitColl(s, c.lastKey())
+	return err
+}
+
+// Allreduce combines each rank's data elementwise with op and returns the
+// combined vector to every rank. All ranks must pass equal-length slices.
+func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
+	s, err := c.enterColl(kindAllreduce, op, 0, data)
+	if err != nil {
+		return nil, err
+	}
+	return c.waitColl(s, c.lastKey())
+}
+
+// AllreduceScalar is Allreduce for a single value.
+func (c *Comm) AllreduceScalar(x float64, op Op) (float64, error) {
+	res, err := c.Allreduce([]float64{x}, op)
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+// Broadcast distributes root's data to every rank. Non-root ranks may
+// pass nil.
+func (c *Comm) Broadcast(root int, data []float64) ([]float64, error) {
+	s, err := c.enterColl(kindBroadcast, OpSum, root, data)
+	if err != nil {
+		return nil, err
+	}
+	return c.waitColl(s, c.lastKey())
+}
+
+// Allgather concatenates every rank's contribution in rank order and
+// returns the whole vector to every rank. Contributions may have
+// different lengths.
+func (c *Comm) Allgather(data []float64) ([]float64, error) {
+	s, err := c.enterColl(kindAllgather, OpSum, 0, data)
+	if err != nil {
+		return nil, err
+	}
+	return c.waitColl(s, c.lastKey())
+}
+
+// Reduce combines data with op and delivers the result to root only;
+// other ranks receive nil. The cost model is the same tree as Allreduce
+// (conservatively synchronising all participants — the common MPI
+// implementation behaviour for small messages).
+func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
+	s, err := c.enterColl(kindAllreduce, op, 0, data)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.waitColl(s, c.lastKey())
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package comm
+
+import "repro/internal/machine"
+
+// Comm is one rank's handle to the world: its identity, virtual clock,
+// deterministic RNG, and the communication operations. A Comm is used by
+// exactly one goroutine (the rank it belongs to) and is not safe for
+// concurrent use — same as an MPI rank.
+type Comm struct {
+	world *World
+	rank  int
+	rng   *machine.RNG
+	epoch int
+	seq   int // collective sequence number within the current epoch
+	clock machine.Clock
+	stats Stats
+}
+
+// Stats accumulates per-rank activity counters, used by the experiment
+// harness to report communication/computation breakdowns.
+type Stats struct {
+	Sends      int
+	Recvs      int
+	Collective int
+	Flops      float64
+	NoiseTime  float64 // virtual seconds lost to injected jitter
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// World returns the world this rank belongs to (for cost-model access by
+// system services such as the LFLR persistent store).
+func (c *Comm) World() *World { return c.world }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.n }
+
+// Clock returns the rank's current virtual time in seconds.
+func (c *Comm) Clock() float64 { return c.clock.Now() }
+
+// RNG returns the rank's deterministic random stream. Fault injectors and
+// noise draws use it so experiments reproduce exactly under a fixed seed.
+func (c *Comm) RNG() *machine.RNG { return c.rng }
+
+// Stats returns a copy of the rank's activity counters.
+func (c *Comm) Stats() Stats { return c.stats }
+
+// Compute advances the rank's virtual clock by the cost of flops
+// floating-point operations plus any jitter drawn from the world's noise
+// model. It never fails: computation on a dead rank is unreachable
+// because every communication operation has already returned ErrKilled.
+func (c *Comm) Compute(flops float64) {
+	d := c.world.cost.Compute(flops)
+	noise := c.world.noise.Draw(c.rng, d)
+	c.clock.Advance(d + noise)
+	c.stats.Flops += flops
+	c.stats.NoiseTime += noise
+}
+
+// AdvanceClock adds raw virtual seconds to the rank's clock. It models
+// costs outside the flop model (e.g. a local disk write in a
+// checkpointing experiment).
+func (c *Comm) AdvanceClock(seconds float64) { c.clock.Advance(seconds) }
+
+// Die marks this rank failed, waking every blocked operation in the world
+// so survivors observe the failure. It returns ErrKilled, which the
+// rank's main loop is expected to propagate out of its rank function.
+// This is the cooperative form of failure used by deterministic
+// experiments ("rank 5 dies at step 250"); World.Kill is the asynchronous
+// external form.
+func (c *Comm) Die() error {
+	c.world.mu.Lock()
+	c.world.killLocked(c.rank)
+	c.world.mu.Unlock()
+	return ErrKilled
+}
+
+// JoinEpoch moves this rank into epoch e (obtained from World.Repair)
+// after a failure, resetting its collective sequence counter. All
+// surviving ranks and the respawned rank must join the same epoch before
+// communicating again.
+func (c *Comm) JoinEpoch(e int) {
+	c.epoch = e
+	c.seq = 0
+}
+
+// checkAliveLocked classifies the rank's ability to communicate. It
+// returns ErrKilled if this rank has failed, ErrRankFailed if some other
+// rank has failed and the world has not been repaired (or if this rank
+// has not yet joined the current epoch after a repair), and nil otherwise.
+// Call with c.world.mu held.
+func (c *Comm) checkAliveLocked() error {
+	w := c.world
+	if w.failed[c.rank] {
+		return ErrKilled
+	}
+	if w.revoked {
+		return ErrRankFailed
+	}
+	if c.epoch != w.epoch {
+		return ErrRankFailed
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFailureDuringEachCollective kills a rank while the others are
+// blocked inside each collective type; every survivor must wake with
+// ErrRankFailed, never hang, never get garbage.
+func TestFailureDuringEachCollective(t *testing.T) {
+	type op func(c *Comm) error
+	cases := map[string]op{
+		"barrier": func(c *Comm) error { return c.Barrier() },
+		"allreduce": func(c *Comm) error {
+			_, err := c.AllreduceScalar(1, OpSum)
+			return err
+		},
+		"broadcast": func(c *Comm) error {
+			_, err := c.Broadcast(0, []float64{1})
+			return err
+		},
+		"allgather": func(c *Comm) error {
+			_, err := c.Allgather([]float64{1})
+			return err
+		},
+		"iallreduce-wait": func(c *Comm) error {
+			req := c.IAllreduce([]float64{1}, OpSum)
+			_, err := req.Wait()
+			return err
+		},
+		"recv": func(c *Comm) error {
+			// Wait for a message the dead rank will never send.
+			_, err := c.Recv(3, 99)
+			return err
+		},
+	}
+	const P = 4
+	const victim = 3
+	for name, doOp := range cases {
+		w := NewWorld(testConfig(P))
+		errs := make(chan error, P-1)
+		for r := 0; r < P; r++ {
+			r := r
+			w.Spawn(r, 0, func(c *Comm) error {
+				if c.Rank() == victim {
+					return c.Die()
+				}
+				errs <- doOp(c)
+				return nil
+			})
+		}
+		w.Wait()
+		for i := 0; i < P-1; i++ {
+			if err := <-errs; !errors.Is(err, ErrRankFailed) {
+				t.Errorf("%s: survivor got %v, want ErrRankFailed", name, err)
+			}
+		}
+	}
+}
+
+// TestOpsAfterOwnDeathReturnKilled: every operation on a dead rank's comm
+// reports ErrKilled.
+func TestOpsAfterOwnDeathReturnKilled(t *testing.T) {
+	w := NewWorld(testConfig(2))
+	done := make(chan struct{})
+	w.Spawn(0, 0, func(c *Comm) error {
+		_ = c.Die()
+		if err := c.Barrier(); !errors.Is(err, ErrKilled) {
+			t.Errorf("Barrier after death: %v", err)
+		}
+		if err := c.Send(1, 0, []float64{1}); !errors.Is(err, ErrKilled) {
+			t.Errorf("Send after death: %v", err)
+		}
+		if _, err := c.Recv(1, 0); !errors.Is(err, ErrKilled) {
+			t.Errorf("Recv after death: %v", err)
+		}
+		if _, err := c.AllreduceScalar(1, OpSum); !errors.Is(err, ErrKilled) {
+			t.Errorf("Allreduce after death: %v", err)
+		}
+		close(done)
+		return ErrKilled
+	})
+	w.Spawn(1, 0, func(c *Comm) error {
+		<-done
+		return nil
+	})
+	w.Wait()
+}
+
+// TestSendToFailedRankFailsFast: sending to a known-dead rank errors
+// immediately instead of queueing to nowhere.
+func TestSendToFailedRankFailsFast(t *testing.T) {
+	w := NewWorld(testConfig(3))
+	died := make(chan struct{})
+	w.Spawn(2, 0, func(c *Comm) error {
+		err := c.Die()
+		close(died)
+		return err
+	})
+	w.Spawn(0, 0, func(c *Comm) error {
+		<-died
+		if err := c.Send(2, 0, []float64{1}); !errors.Is(err, ErrRankFailed) {
+			t.Errorf("Send to dead rank: %v", err)
+		}
+		return nil
+	})
+	w.Spawn(1, 0, func(c *Comm) error {
+		<-died
+		return nil
+	})
+	w.Wait()
+}
+
+// TestRequestTest covers the non-blocking Test path.
+func TestRequestTest(t *testing.T) {
+	err := Run(testConfig(3), func(c *Comm) error {
+		req := c.IAllreduce([]float64{float64(c.Rank())}, OpSum)
+		// Spin (bounded) until posted everywhere; Test must not advance
+		// the clock.
+		before := c.Clock()
+		for i := 0; i < 1e7 && !req.Test(); i++ {
+		}
+		if c.Clock() != before {
+			t.Errorf("Test advanced the clock")
+		}
+		res, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if res[0] != 3 {
+			t.Errorf("sum %v", res[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIBarrier covers the non-blocking barrier.
+func TestIBarrier(t *testing.T) {
+	err := Run(testConfig(4), func(c *Comm) error {
+		req := c.IBarrier()
+		c.Compute(1000)
+		_, err := req.Wait()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepairWithoutFailureIsHarmlessEpochBump: Repair on a healthy world
+// must not wedge anything; ranks that join the new epoch keep talking.
+func TestRepairIsolation(t *testing.T) {
+	w := NewWorld(testConfig(2))
+	epochCh := make(chan int, 1)
+	w.Spawn(0, 0, func(c *Comm) error {
+		e := <-epochCh
+		c.JoinEpoch(e)
+		_, err := c.AllreduceScalar(1, OpSum)
+		return err
+	})
+	w.Spawn(1, 0, func(c *Comm) error {
+		e := <-epochCh
+		c.JoinEpoch(e)
+		_, err := c.AllreduceScalar(1, OpSum)
+		return err
+	})
+	e := w.Repair()
+	epochCh <- e
+	epochCh <- e
+	for r, err := range w.Wait() {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package comm
+
+// Request is the handle to an in-flight non-blocking collective, the
+// MPI-3 capability the paper identifies as the enabler of Relaxed
+// Bulk-Synchronous Programming (§II-B). Between posting the operation and
+// calling Wait, the rank may execute Compute phases; the virtual-time
+// semantics are that the collective completes at
+//
+//	T = (last rank's post time) + tree cost,
+//
+// and Wait advances the caller's clock only to max(own clock, T) — so any
+// computation performed between post and Wait genuinely hides collective
+// latency, exactly the overlap a real IAllreduce offers.
+type Request struct {
+	c   *Comm
+	s   *collSlot
+	key collKey
+	err error
+}
+
+// IAllreduce posts a non-blocking all-reduce of data with op and returns
+// immediately with a Request. The caller must eventually call Wait.
+func (c *Comm) IAllreduce(data []float64, op Op) *Request {
+	s, err := c.enterColl(kindAllreduce, op, 0, data)
+	return &Request{c: c, s: s, key: c.lastKey(), err: err}
+}
+
+// IBarrier posts a non-blocking barrier.
+func (c *Comm) IBarrier() *Request {
+	s, err := c.enterColl(kindBarrier, OpSum, 0, nil)
+	return &Request{c: c, s: s, key: c.lastKey(), err: err}
+}
+
+// Wait blocks until the collective completes and returns its result
+// (nil for a barrier). It may be called once.
+func (r *Request) Wait() ([]float64, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.c.waitColl(r.s, r.key)
+}
+
+// Test reports whether the collective has already completed (every rank
+// has posted), without blocking or advancing the clock.
+func (r *Request) Test() bool {
+	if r.err != nil {
+		return true
+	}
+	w := r.c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return r.s.done || r.s.aborted
+}

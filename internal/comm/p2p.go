@@ -1,0 +1,112 @@
+package comm
+
+import "sync"
+
+// message is one in-flight point-to-point payload.
+type message struct {
+	src    int
+	tag    int
+	data   []float64
+	arrive float64 // earliest virtual time the receiver can complete the Recv
+	epoch  int
+}
+
+// msgQueue is one rank's inbox. The world's mutex guards msgs; cond
+// shares that mutex so waiters interleave correctly with failure wakeups.
+type msgQueue struct {
+	cond *sync.Cond
+	msgs []message
+}
+
+func (q *msgQueue) init(mu *sync.Mutex) {
+	if q.cond == nil {
+		q.cond = sync.NewCond(mu)
+	}
+}
+
+// wake is called (with the world lock held) when a failure occurs so that
+// blocked receivers re-evaluate their liveness.
+func (q *msgQueue) wake() {
+	if q.cond != nil {
+		q.cond.Broadcast()
+	}
+}
+
+// purge drops all queued messages; called by World.Repair so stale
+// pre-failure traffic cannot leak into the new epoch.
+func (q *msgQueue) purge() {
+	q.msgs = nil
+}
+
+// Send delivers a copy of data to rank dst with the given tag. In this
+// model a send is buffered and never blocks: the sender pays its CPU
+// overhead and continues; the message carries the virtual time at which
+// it can be received. Send fails with ErrKilled/ErrRankFailed per the
+// world's failure state; sending to a failed rank fails immediately.
+func (c *Comm) Send(dst, tag int, data []float64) error {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := c.checkAliveLocked(); err != nil {
+		return err
+	}
+	if dst < 0 || dst >= w.n {
+		panic("comm: Send to rank out of range")
+	}
+	if w.failed[dst] {
+		return ErrRankFailed
+	}
+	// Sender pays its overhead, then the message flies.
+	c.clock.Advance(w.cost.Overhead)
+	bytes := 8 * len(data)
+	arrive := c.clock.Now() + w.cost.PointToPoint(bytes)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	q := &w.queues[dst]
+	q.init(&w.mu)
+	q.msgs = append(q.msgs, message{src: c.rank, tag: tag, data: cp, arrive: arrive, epoch: c.epoch})
+	c.stats.Sends++
+	w.observeClock(c.clock.Now())
+	q.cond.Broadcast()
+	return nil
+}
+
+// Recv blocks until a message from rank src with the given tag is
+// available, then returns its payload. The receiver's clock advances to
+// the message's arrival time plus receive overhead. Recv returns
+// ErrRankFailed if src (or any rank) fails while it waits.
+func (c *Comm) Recv(src, tag int) ([]float64, error) {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	q := &w.queues[c.rank]
+	q.init(&w.mu)
+	for {
+		if err := c.checkAliveLocked(); err != nil {
+			return nil, err
+		}
+		for i := range q.msgs {
+			m := &q.msgs[i]
+			if m.src == src && m.tag == tag && m.epoch == c.epoch {
+				data := m.data
+				c.clock.SyncTo(m.arrive)
+				c.clock.Advance(w.cost.Overhead)
+				q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)
+				c.stats.Recvs++
+				w.observeClock(c.clock.Now())
+				return data, nil
+			}
+		}
+		q.cond.Wait()
+	}
+}
+
+// Sendrecv posts a send to dst and then receives from src, the classic
+// halo-exchange primitive. Because sends are buffered, this cannot
+// deadlock even when every rank calls it simultaneously.
+func (c *Comm) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) ([]float64, error) {
+	if err := c.Send(dst, sendTag, data); err != nil {
+		return nil, err
+	}
+	return c.Recv(src, recvTag)
+}

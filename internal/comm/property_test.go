@@ -1,0 +1,196 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+// TestAllreduceEqualsSerialReductionProperty: for random per-rank
+// payloads, the distributed sum/max/min must equal the serial fold —
+// bitwise for max/min, and bitwise for sum too because contributions are
+// folded in rank order.
+func TestAllreduceEqualsSerialReductionProperty(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		p := int(pRaw%7) + 2 // 2..8 ranks
+		vals := make([]float64, p)
+		for i := range vals {
+			if i < len(raw) && !math.IsNaN(raw[i]) && !math.IsInf(raw[i], 0) {
+				vals[i] = math.Mod(raw[i], 1e9)
+			} else {
+				vals[i] = float64(i)
+			}
+		}
+		wantSum := 0.0
+		wantMax := math.Inf(-1)
+		wantMin := math.Inf(1)
+		for _, v := range vals {
+			wantSum += v
+			wantMax = math.Max(wantMax, v)
+			wantMin = math.Min(wantMin, v)
+		}
+		ok := true
+		err := Run(Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: 1}, func(c *Comm) error {
+			s, err := c.AllreduceScalar(vals[c.Rank()], OpSum)
+			if err != nil {
+				return err
+			}
+			mx, err := c.AllreduceScalar(vals[c.Rank()], OpMax)
+			if err != nil {
+				return err
+			}
+			mn, err := c.AllreduceScalar(vals[c.Rank()], OpMin)
+			if err != nil {
+				return err
+			}
+			if s != wantSum || mx != wantMax || mn != wantMin {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllreduceBitwiseDeterministicAcrossRuns: the rank-ordered fold must
+// give the identical floating-point result regardless of goroutine
+// scheduling, across repeated runs.
+func TestAllreduceBitwiseDeterministicAcrossRuns(t *testing.T) {
+	const p = 13
+	run := func() float64 {
+		var out float64
+		err := Run(testConfig(p), func(c *Comm) error {
+			// Ill-conditioned contributions that make fold order matter.
+			x := math.Pow(10, float64(c.Rank()-6))
+			s, err := c.AllreduceScalar(x, OpSum)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				out = s
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := run()
+	for i := 0; i < 20; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: %x differs from %x", i, got, first)
+		}
+	}
+}
+
+// TestClocksNeverExceedCollectiveCompletion: after a barrier, all ranks
+// report the same clock (the completion time), and it is at least the
+// max of their pre-barrier clocks.
+func TestBarrierSynchronisesClocks(t *testing.T) {
+	const p = 6
+	err := Run(testConfig(p), func(c *Comm) error {
+		c.Compute(float64(c.Rank()) * 1e6) // staggered work
+		pre := c.Clock()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		post := c.Clock()
+		if post < pre {
+			t.Errorf("rank %d: clock went backward", c.Rank())
+		}
+		// All ranks must now agree exactly.
+		mx, err := c.AllreduceScalar(post, OpMax)
+		if err != nil {
+			return err
+		}
+		mn, err := c.AllreduceScalar(post, OpMin)
+		if err != nil {
+			return err
+		}
+		if mx != mn {
+			t.Errorf("rank %d: clocks disagree after barrier: %g vs %g", c.Rank(), mn, mx)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMismatchedCollectivePanics: rank 0 calling Barrier while rank 1
+// calls Allreduce at the same sequence number must panic loudly, not
+// exchange garbage.
+func TestMismatchedCollectivePanics(t *testing.T) {
+	w := NewWorld(testConfig(2))
+	done := make(chan bool, 2)
+	spawnCatch := func(r int, fn func(c *Comm) error) {
+		w.Spawn(r, 0, func(c *Comm) error {
+			defer func() {
+				if recover() != nil {
+					done <- true
+				} else {
+					done <- false
+				}
+			}()
+			return fn(c)
+		})
+	}
+	spawnCatch(0, func(c *Comm) error { return c.Barrier() })
+	spawnCatch(1, func(c *Comm) error {
+		_, err := c.AllreduceScalar(1, OpSum)
+		return err
+	})
+	panicked := <-done
+	if !panicked {
+		// The second arrival is the one that panics; check the other.
+		panicked = <-done
+	}
+	if !panicked {
+		t.Error("mismatched collectives should panic")
+	}
+	// Unblock the world so Wait can finish: kill both ranks.
+	w.Kill(0)
+	w.Kill(1)
+}
+
+// TestSendRecvLargePayload exercises payload copying.
+func TestSendRecvLargePayload(t *testing.T) {
+	payload := make([]float64, 10000)
+	for i := range payload {
+		payload[i] = float64(i) * 1.5
+	}
+	err := Run(testConfig(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := append([]float64(nil), payload...)
+			if err := c.Send(1, 1, buf); err != nil {
+				return err
+			}
+			// Mutating the buffer after Send must not affect delivery.
+			for i := range buf {
+				buf[i] = -1
+			}
+			return nil
+		}
+		got, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		for i := range got {
+			if got[i] != payload[i] {
+				t.Errorf("payload corrupted at %d", i)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package core is the front door of the library: it names the four
+// resilience-enabling programming models of Heroux, "Toward Resilient
+// Algorithms and Applications" (HPDC 2013), and points at the packages
+// that realise each one, so a downstream user can navigate the system the
+// way the paper is organised.
+//
+//	SkP  — Skeptical Programming (paper §II-A): cheap invariant checks
+//	       that turn silent data corruption into detected, correctable
+//	       events. See internal/skp (checks, CheckedOp, skeptical GMRES)
+//	       and internal/abft (checksummed kernels, the classic ABFT that
+//	       SkP subsumes).
+//
+//	RBSP — Relaxed Bulk-Synchronous Programming (§II-B): non-blocking
+//	       collectives hide latency and performance variability. See
+//	       internal/comm (IAllreduce) and internal/krylov (pipelined CG,
+//	       p1-GMRES).
+//
+//	LFLR — Local Failure, Local Recovery (§II-C): per-rank persistent
+//	       storage plus registered recovery functions replace global
+//	       checkpoint/restart. See internal/lflr (store, runtime, the
+//	       explicit and implicit heat applications) and internal/cpr
+//	       (the baseline it beats).
+//
+//	SRP  — Selective Reliability Programming (§II-D): declare what must
+//	       be reliable and let the bulk run cheap and faulty. See
+//	       internal/mem (reliability regions, TMR) and internal/srp
+//	       (FT-GMRES).
+//
+// The simulated parallel machine everything runs on lives in
+// internal/machine (cost model, noise, RNG), internal/comm (ranks,
+// collectives, failure semantics), internal/fault (injection), and
+// internal/dist (distributed operators). Model problems are in
+// internal/problems; serial kernels in internal/la.
+//
+// Experiments F1–F8 and T1–T4 (defined in DESIGN.md, results in
+// EXPERIMENTS.md) are implemented in internal/bench and runnable via
+// cmd/resilient-bench.
+package core
+
+// Model identifies one of the paper's four programming models.
+type Model int
+
+// The four resilience-enabling programming models, in the paper's order
+// (easiest to hardest to deploy in a production system).
+const (
+	SkP Model = iota
+	RBSP
+	LFLR
+	SRP
+)
+
+// String returns the model's abbreviation as used in the paper.
+func (m Model) String() string {
+	switch m {
+	case SkP:
+		return "SkP"
+	case RBSP:
+		return "RBSP"
+	case LFLR:
+		return "LFLR"
+	case SRP:
+		return "SRP"
+	default:
+		return "unknown"
+	}
+}
+
+// Description returns the paper's one-line definition of the model.
+func (m Model) Description() string {
+	switch m {
+	case SkP:
+		return "Skeptical Programming: validate mathematical invariants to detect silent data corruption"
+	case RBSP:
+		return "Relaxed Bulk-Synchronous Programming: hide latency with asynchronous collectives"
+	case LFLR:
+		return "Local Failure, Local Recovery: persistent local state and registered recovery functions"
+	case SRP:
+		return "Selective Reliability Programming: declare reliable islands in an unreliable sea"
+	default:
+		return "unknown"
+	}
+}
+
+// Models lists all four models in the paper's order.
+func Models() []Model { return []Model{SkP, RBSP, LFLR, SRP} }

@@ -1,0 +1,29 @@
+package core
+
+import "testing"
+
+func TestModelNames(t *testing.T) {
+	want := map[Model]string{SkP: "SkP", RBSP: "RBSP", LFLR: "LFLR", SRP: "SRP"}
+	for m, name := range want {
+		if m.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), name)
+		}
+		if m.Description() == "" || m.Description() == "unknown" {
+			t.Errorf("%s has no description", name)
+		}
+	}
+	if Model(99).String() != "unknown" || Model(99).Description() != "unknown" {
+		t.Error("out-of-range model should be unknown")
+	}
+}
+
+func TestModelsOrder(t *testing.T) {
+	ms := Models()
+	if len(ms) != 4 {
+		t.Fatalf("got %d models", len(ms))
+	}
+	// The paper orders them easiest-to-hardest to deploy.
+	if ms[0] != SkP || ms[3] != SRP {
+		t.Errorf("order: %v", ms)
+	}
+}

@@ -1,0 +1,162 @@
+// Package cpr models the baseline the paper argues is running out of
+// road (§I): global checkpoint/restart. It provides Daly's optimal
+// checkpoint interval and discrete-event simulations of a job running
+// under Poisson failures with (a) global CPR and (b) LFLR-style local
+// recovery, so experiment F5 can compare time-to-solution across MTBF and
+// machine scale.
+package cpr
+
+import (
+	"math"
+
+	"repro/internal/fault"
+)
+
+// DalyInterval returns the near-optimal checkpoint interval for
+// checkpoint cost delta and system MTBF m, using Daly's higher-order
+// approximation:
+//
+//	τ = sqrt(2δM)·[1 + (1/3)·sqrt(δ/2M) + (δ/2M)/9] − δ   for δ < 2M
+//	τ = M                                                  otherwise
+func DalyInterval(delta, mtbf float64) float64 {
+	if delta <= 0 {
+		return mtbf
+	}
+	if delta >= 2*mtbf {
+		return mtbf
+	}
+	x := math.Sqrt(delta / (2 * mtbf))
+	tau := math.Sqrt(2*delta*mtbf)*(1+x/3+x*x/9) - delta
+	if tau <= 0 {
+		tau = delta
+	}
+	return tau
+}
+
+// Params describes one simulated execution.
+type Params struct {
+	Work    float64 // failure-free compute time of the whole job (s)
+	MTBF    float64 // system mean time between failures (s)
+	Seed    uint64
+	MaxTime float64 // abort horizon (default 1000× Work)
+	// CPR knobs.
+	CheckpointCost float64 // δ: write a global checkpoint (s)
+	RestartCost    float64 // R: relaunch + read checkpoint (s)
+	Interval       float64 // τ: checkpoint every τ seconds of progress (0 = Daly)
+	// LFLR knobs.
+	PersistCost  float64 // per-persist local store cost (s)
+	PersistEvery float64 // persist every this many seconds of progress
+	RecoveryCost float64 // fixed per-failure local recovery cost (replica fetch + respawn)
+}
+
+// Result summarises one simulated execution.
+type Result struct {
+	TotalTime   float64
+	Failures    int
+	Checkpoints int
+	Efficiency  float64 // Work / TotalTime
+}
+
+// SimulateCPR runs the job under global checkpoint/restart: on every
+// failure, all progress since the last completed checkpoint is lost and
+// the restart cost is paid. Failures can strike during checkpoints and
+// restarts (lost too), which is what makes CPR collapse when the MTBF
+// approaches the checkpoint interval.
+func SimulateCPR(p Params) Result {
+	interval := p.Interval
+	if interval <= 0 {
+		interval = DalyInterval(p.CheckpointCost, p.MTBF)
+	}
+	maxTime := p.MaxTime
+	if maxTime <= 0 {
+		maxTime = 1000*p.Work + 1e6
+	}
+	fp := fault.NewPoissonProcess(p.MTBF, p.Seed^0x5bd1e995)
+
+	var res Result
+	t := 0.0        // wall clock
+	progress := 0.0 // committed work (as of the last checkpoint)
+	nextFail := fp.Next()
+
+	for progress < p.Work && t < maxTime {
+		// One segment: work until the next checkpoint (or job end), then
+		// checkpoint. A failure anywhere in the segment discards it.
+		segWork := math.Min(interval, p.Work-progress)
+		segLen := segWork + p.CheckpointCost
+		if progress+segWork >= p.Work {
+			segLen = segWork // no checkpoint after the final segment
+		}
+		if t+segLen <= nextFail {
+			t += segLen
+			progress += segWork
+			if segLen > segWork {
+				res.Checkpoints++
+			}
+			continue
+		}
+		// Failure mid-segment: lose the segment, pay restart.
+		t = nextFail + p.RestartCost
+		res.Failures++
+		nextFail = t + fp.Next()
+	}
+	res.TotalTime = t
+	if t > 0 {
+		res.Efficiency = p.Work / t
+	}
+	return res
+}
+
+// SimulateLFLR runs the same job under local-failure-local-recovery:
+// persistence is local and cheap, and a failure costs only the local
+// recovery (replica fetch + respawn) plus recomputation of the failed
+// rank's work since its last persist — during which the survivors wait at
+// the next synchronisation point, so the recomputation appears once in
+// the global clock, not P times. No global restart, no lost global
+// progress.
+func SimulateLFLR(p Params) Result {
+	maxTime := p.MaxTime
+	if maxTime <= 0 {
+		maxTime = 1000*p.Work + 1e6
+	}
+	persistEvery := p.PersistEvery
+	if persistEvery <= 0 {
+		persistEvery = DalyInterval(p.PersistCost, p.MTBF)
+	}
+	fp := fault.NewPoissonProcess(p.MTBF, p.Seed^0xc2b2ae35)
+
+	var res Result
+	t := 0.0
+	progress := 0.0
+	sincePersist := 0.0
+	nextFail := fp.Next()
+
+	for progress < p.Work && t < maxTime {
+		segWork := math.Min(persistEvery-sincePersist, p.Work-progress)
+		if t+segWork <= nextFail {
+			t += segWork
+			progress += segWork
+			sincePersist += segWork
+			if sincePersist >= persistEvery && progress < p.Work {
+				t += p.PersistCost
+				sincePersist = 0
+				res.Checkpoints++
+			}
+			continue
+		}
+		// Failure: global progress survives; the failed rank replays its
+		// own work since the last persist. Everyone else waits for it, so
+		// wall-clock pays recovery + replay once.
+		done := nextFail - t
+		progress += done // survivors' work in this window is kept
+		replay := sincePersist + done
+		t = nextFail + p.RecoveryCost + replay
+		sincePersist = 0 // recovered rank persists right after replay
+		res.Failures++
+		nextFail = t + fp.Next()
+	}
+	res.TotalTime = t
+	if t > 0 {
+		res.Efficiency = p.Work / t
+	}
+	return res
+}

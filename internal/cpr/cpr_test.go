@@ -1,0 +1,101 @@
+package cpr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDalyIntervalKnownValues(t *testing.T) {
+	// For δ ≪ M, τ ≈ sqrt(2δM).
+	tau := DalyInterval(60, 86400)
+	approx := math.Sqrt(2 * 60 * 86400)
+	if math.Abs(tau-approx)/approx > 0.1 {
+		t.Errorf("Daly interval %g vs first-order %g", tau, approx)
+	}
+	// Degenerate regimes.
+	if got := DalyInterval(0, 1000); got != 1000 {
+		t.Errorf("zero-cost checkpoint interval %g", got)
+	}
+	if got := DalyInterval(5000, 1000); got != 1000 {
+		t.Errorf("huge-cost interval %g", got)
+	}
+}
+
+func TestCPRNoFailures(t *testing.T) {
+	p := Params{Work: 1000, MTBF: 1e12, CheckpointCost: 1, RestartCost: 10, Interval: 100, Seed: 1}
+	r := SimulateCPR(p)
+	if r.Failures != 0 {
+		t.Fatalf("failures at MTBF 1e12: %d", r.Failures)
+	}
+	// 1000 work + 9 checkpoints (none after the final segment).
+	if r.TotalTime != 1009 {
+		t.Errorf("total %g, want 1009", r.TotalTime)
+	}
+}
+
+func TestCPRFailuresCostProgress(t *testing.T) {
+	p := Params{Work: 10000, MTBF: 500, CheckpointCost: 5, RestartCost: 30, Seed: 7}
+	r := SimulateCPR(p)
+	if r.Failures == 0 {
+		t.Fatal("expected failures at MTBF 500 over work 10000")
+	}
+	if r.TotalTime <= p.Work {
+		t.Error("failures must cost time")
+	}
+	if r.Efficiency <= 0 || r.Efficiency >= 1 {
+		t.Errorf("efficiency %g out of range", r.Efficiency)
+	}
+}
+
+func TestLFLRBeatsCPRAtLowMTBF(t *testing.T) {
+	// The F5 claim: as failures become frequent, local recovery wins big.
+	for _, mtbf := range []float64{200.0, 1000.0, 5000.0} {
+		pc := Params{Work: 50000, MTBF: mtbf, CheckpointCost: 20, RestartCost: 60, Seed: 3}
+		pl := pc
+		pl.PersistCost = 0.5
+		pl.PersistEvery = 50
+		pl.RecoveryCost = 2
+		c := SimulateCPR(pc)
+		l := SimulateLFLR(pl)
+		if l.TotalTime >= c.TotalTime {
+			t.Errorf("MTBF %g: LFLR (%g) should beat CPR (%g)", mtbf, l.TotalTime, c.TotalTime)
+		}
+	}
+}
+
+func TestLFLRNoFailures(t *testing.T) {
+	p := Params{Work: 1000, MTBF: 1e12, PersistCost: 0.1, PersistEvery: 10, RecoveryCost: 1, Seed: 2}
+	r := SimulateLFLR(p)
+	if r.Failures != 0 {
+		t.Fatalf("failures: %d", r.Failures)
+	}
+	// Work plus ~99 persists at 0.1 each.
+	if r.TotalTime < 1000 || r.TotalTime > 1011 {
+		t.Errorf("total %g", r.TotalTime)
+	}
+}
+
+func TestCPRDalyIntervalNearOptimal(t *testing.T) {
+	// Daly's τ should be within a modest factor of the best grid value.
+	base := Params{Work: 100000, MTBF: 2000, CheckpointCost: 10, RestartCost: 30, Seed: 11}
+	daly := SimulateCPR(base)
+	best := math.Inf(1)
+	for _, tau := range []float64{25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0} {
+		p := base
+		p.Interval = tau
+		if r := SimulateCPR(p); r.TotalTime < best {
+			best = r.TotalTime
+		}
+	}
+	if daly.TotalTime > 1.25*best {
+		t.Errorf("Daly interval total %g vs best grid %g", daly.TotalTime, best)
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	p := Params{Work: 20000, MTBF: 700, CheckpointCost: 5, RestartCost: 20, Seed: 9}
+	a, b := SimulateCPR(p), SimulateCPR(p)
+	if a != b {
+		t.Error("same-seed CPR simulations differ")
+	}
+}

@@ -1,0 +1,88 @@
+// Package fault provides deterministic fault injection: single-event
+// upsets (bit flips) in IEEE-754 float64 data, scheduled process kills,
+// and per-operation fault-rate injectors. Every injector draws from a
+// seeded machine.RNG, so a given seed reproduces the identical fault
+// pattern — the property that makes the paper's "silent data corruption"
+// experiments (§III-A) repeatable.
+package fault
+
+import (
+	"math"
+
+	"repro/internal/machine"
+)
+
+// BitClass partitions the 64 bits of a float64 by how catastrophic a flip
+// there typically is, following the taxonomy of the GMRES bit-flip study
+// the paper cites ([10], Elliott et al.): exponent flips change magnitude
+// by factors of 2^k and are usually devastating; high-mantissa flips cause
+// relative errors up to 2^-1; low-mantissa flips are often harmless noise.
+type BitClass int
+
+// Bit classes, from most to least catastrophic on average.
+const (
+	// Sign is bit 63.
+	Sign BitClass = iota
+	// Exponent is bits 52..62.
+	Exponent
+	// MantissaHigh is bits 26..51 (the upper half of the significand).
+	MantissaHigh
+	// MantissaLow is bits 0..25.
+	MantissaLow
+	// AnyBit draws uniformly over all 64 bits.
+	AnyBit
+)
+
+// String returns the class name used in experiment tables.
+func (b BitClass) String() string {
+	switch b {
+	case Sign:
+		return "sign"
+	case Exponent:
+		return "exponent"
+	case MantissaHigh:
+		return "mantissa-high"
+	case MantissaLow:
+		return "mantissa-low"
+	case AnyBit:
+		return "any"
+	default:
+		return "unknown"
+	}
+}
+
+// PickBit draws a bit position within the class using rng.
+func (b BitClass) PickBit(rng *machine.RNG) int {
+	switch b {
+	case Sign:
+		return 63
+	case Exponent:
+		return 52 + rng.Intn(11)
+	case MantissaHigh:
+		return 26 + rng.Intn(26)
+	case MantissaLow:
+		return rng.Intn(26)
+	case AnyBit:
+		return rng.Intn(64)
+	default:
+		panic("fault: unknown bit class")
+	}
+}
+
+// FlipBit returns x with the given bit (0 = least significant) inverted.
+// This is the fundamental silent-data-corruption event.
+func FlipBit(x float64, bit int) float64 {
+	if bit < 0 || bit > 63 {
+		panic("fault: bit out of range")
+	}
+	return math.Float64frombits(math.Float64bits(x) ^ (1 << uint(bit)))
+}
+
+// Event records one injected fault, for experiment logs and for verifying
+// detector attribution.
+type Event struct {
+	Iteration int     // solver iteration / time step when injected
+	Index     int     // element index within the corrupted vector
+	Bit       int     // which bit was flipped
+	Old, New  float64 // value before and after
+}

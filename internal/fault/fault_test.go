@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func TestFlipBitInvolutionProperty(t *testing.T) {
+	f := func(x float64, bitRaw uint8) bool {
+		bit := int(bitRaw % 64)
+		return FlipBit(FlipBit(x, bit), bit) == x ||
+			(math.IsNaN(x) && math.IsNaN(FlipBit(FlipBit(x, bit), bit)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipBitChangesValue(t *testing.T) {
+	for bit := 0; bit < 64; bit++ {
+		if FlipBit(1.5, bit) == 1.5 {
+			t.Errorf("bit %d flip had no effect", bit)
+		}
+	}
+}
+
+func TestBitClassRanges(t *testing.T) {
+	rng := machine.NewRNG(1)
+	cases := []struct {
+		class  BitClass
+		lo, hi int
+	}{
+		{Sign, 63, 63},
+		{Exponent, 52, 62},
+		{MantissaHigh, 26, 51},
+		{MantissaLow, 0, 25},
+		{AnyBit, 0, 63},
+	}
+	for _, c := range cases {
+		for i := 0; i < 200; i++ {
+			b := c.class.PickBit(rng)
+			if b < c.lo || b > c.hi {
+				t.Fatalf("%v picked bit %d outside [%d, %d]", c.class, b, c.lo, c.hi)
+			}
+		}
+	}
+}
+
+func TestExponentFlipIsCatastrophic(t *testing.T) {
+	// Flipping the top exponent bit of a normal number changes its
+	// magnitude enormously — the class detectors rely on this.
+	x := 3.7
+	y := FlipBit(x, 62)
+	ratio := math.Abs(y / x)
+	if ratio > 1e-100 && ratio < 1e100 {
+		t.Errorf("high exponent flip ratio only %g", ratio)
+	}
+}
+
+func TestVectorInjectorOneShot(t *testing.T) {
+	in := NewVectorInjector(42).OneShot(3, Exponent)
+	v := []float64{1, 2, 3, 4}
+	total := 0
+	for iter := 0; iter < 6; iter++ {
+		total += in.Pass(v)
+	}
+	if total != 1 {
+		t.Fatalf("one-shot injected %d faults", total)
+	}
+	ev := in.Events()
+	if len(ev) != 1 || ev[0].Iteration != 3 {
+		t.Fatalf("event log wrong: %+v", ev)
+	}
+	if ev[0].Bit < 52 || ev[0].Bit > 62 {
+		t.Errorf("exponent class flipped bit %d", ev[0].Bit)
+	}
+	if !in.Fired() {
+		t.Error("Fired() should be true")
+	}
+}
+
+func TestVectorInjectorRate(t *testing.T) {
+	in := NewVectorInjector(7).WithRate(0.5)
+	v := make([]float64, 10000)
+	n := in.Pass(v)
+	if n < 4500 || n > 5500 {
+		t.Errorf("rate 0.5 injected %d/10000", n)
+	}
+}
+
+func TestVectorInjectorReset(t *testing.T) {
+	in := NewVectorInjector(9).OneShot(0, AnyBit)
+	v := []float64{1}
+	if in.Pass(v) != 1 {
+		t.Fatal("first shot missing")
+	}
+	in.Reset()
+	v[0] = 1
+	if in.Pass(v) != 1 {
+		t.Fatal("reset should re-arm")
+	}
+	if len(in.Events()) != 1 {
+		t.Error("reset should clear the event log")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *VectorInjector
+	v := []float64{1, 2}
+	if in.Pass(v) != 0 || in.Events() != nil || in.Fired() {
+		t.Error("nil injector must be a no-op")
+	}
+}
+
+func TestStepKillerFiresOnce(t *testing.T) {
+	k := &StepKiller{Rank: 2, Step: 5}
+	if k.ShouldDie(1, 5) || k.ShouldDie(2, 4) {
+		t.Error("fired for wrong rank/step")
+	}
+	if !k.ShouldDie(2, 5) {
+		t.Error("did not fire")
+	}
+	if k.ShouldDie(2, 5) {
+		t.Error("fired twice")
+	}
+}
+
+func TestScheduleMultipleKills(t *testing.T) {
+	s := &Schedule{Kills: []StepKiller{{Rank: 0, Step: 1}, {Rank: 3, Step: 9}}}
+	if !s.ShouldDie(0, 1) || !s.ShouldDie(3, 9) {
+		t.Error("scheduled kills did not fire")
+	}
+	if s.ShouldDie(0, 1) {
+		t.Error("kill fired twice")
+	}
+	var nilSched *Schedule
+	if nilSched.ShouldDie(0, 0) {
+		t.Error("nil schedule must be inert")
+	}
+}
+
+func TestPoissonProcessMean(t *testing.T) {
+	p := NewPoissonProcess(100, 4)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += p.Next()
+	}
+	if mean := sum / n; math.Abs(mean-100) > 2 {
+		t.Errorf("MTBF mean %v, want ~100", mean)
+	}
+}

@@ -1,0 +1,161 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/la"
+	"repro/internal/problems"
+)
+
+// TestCGSGMRESMatchesMGS verifies the one-reduce variant solves the same
+// system to the same answer with far fewer reductions.
+func TestCGSGMRESMatchesMGS(t *testing.T) {
+	const p = 4
+	a := problems.ConvDiff2D(16, 16, 20, 10)
+	bGlob, xstar := problems.ManufacturedRHS(a)
+
+	var xCGS []float64
+	var stCGS, stMGS Stats
+	err := comm.Run(distConfig(p), func(c *comm.Comm) error {
+		op := dist.NewCSR(c, a)
+		local := op.Scatter(bGlob)
+		x, st, err := DistCGSGMRES(c, op, local, nil, DistGMRESOptions{Restart: 40, Tol: 1e-9, MaxIter: 300})
+		if err != nil {
+			return err
+		}
+		full, err := op.Gather(x)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			xCGS, stCGS = full, st
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = comm.Run(distConfig(p), func(c *comm.Comm) error {
+		op := dist.NewCSR(c, a)
+		local := op.Scatter(bGlob)
+		_, st, err := DistGMRES(c, op, local, nil, DistGMRESOptions{Restart: 40, Tol: 1e-9, MaxIter: 300})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			stMGS = st
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !stCGS.Converged {
+		t.Fatalf("CGS GMRES did not converge: %g", stCGS.FinalResidual)
+	}
+	if e := la.NrmInf(la.Sub(xCGS, xstar)); e > 1e-5 {
+		t.Errorf("CGS GMRES error %g", e)
+	}
+	if stCGS.Reductions >= stMGS.Reductions/3 {
+		t.Errorf("CGS should slash reductions: cgs=%d mgs=%d", stCGS.Reductions, stMGS.Reductions)
+	}
+}
+
+// TestChebyshevSolvesPoisson verifies the zero-reduction iteration
+// converges with correct spectral bounds and uses almost no reductions.
+func TestChebyshevSolvesPoisson(t *testing.T) {
+	const n, p = 200, 4
+	a := problems.Poisson1D(n)
+	bGlob, xstar := problems.ManufacturedRHS(a)
+
+	err := comm.Run(distConfig(p), func(c *comm.Comm) error {
+		op := dist.NewStencil3(c, n, -1, 2, -1)
+		pt := dist.Partition{N: n, P: p}
+		lo, hi := pt.Range(c.Rank())
+		// 1D Poisson eigenvalues: 2 - 2cos(kπ/(n+1)) ∈ (0, 4).
+		lmin := 2 - 2*cosPi(1, n+1)
+		lmax := 2 - 2*cosPi(n, n+1)
+		x, st, err := DistChebyshev(c, op, la.Copy(bGlob[lo:hi]), nil, ChebyshevOptions{
+			LambdaMin: lmin, LambdaMax: lmax, Tol: 1e-8, MaxIter: 4000, CheckEvery: 25,
+		})
+		if err != nil {
+			return err
+		}
+		if !st.Converged {
+			t.Errorf("rank %d: Chebyshev did not converge: %g after %d iters", c.Rank(), st.FinalResidual, st.Iterations)
+		}
+		// Reductions should be ~ iters/CheckEvery, not ~ iters.
+		if st.Reductions > st.Iterations/10+5 {
+			t.Errorf("too many reductions: %d for %d iterations", st.Reductions, st.Iterations)
+		}
+		full, err := c.Allgather(x)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if e := la.NrmInf(la.Sub(full, xstar)); e > 1e-5 {
+				t.Errorf("Chebyshev error %g", e)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func cosPi(k, n int) float64 {
+	return math.Cos(float64(k) * math.Pi / float64(n))
+}
+
+// TestGMRESVariantsOnIdentity: A = I is the degenerate happy-breakdown
+// case — every variant must converge in one iteration instead of
+// spinning on a discarded column.
+func TestGMRESVariantsOnIdentity(t *testing.T) {
+	const n, p = 60, 3
+	for _, name := range []string{"mgs", "cgs", "p1"} {
+		err := comm.Run(distConfig(p), func(c *comm.Comm) error {
+			op := dist.NewStencil3(c, n, 0, 1, 0) // identity
+			b := make([]float64, op.LocalLen())
+			for i := range b {
+				b[i] = float64(i) + 1
+			}
+			var x []float64
+			var st Stats
+			var err error
+			opts := DistGMRESOptions{Restart: 20, Tol: 1e-12, MaxIter: 50}
+			switch name {
+			case "mgs":
+				x, st, err = DistGMRES(c, op, b, nil, opts)
+			case "cgs":
+				x, st, err = DistCGSGMRES(c, op, b, nil, opts)
+			default:
+				x, st, err = DistP1GMRES(c, op, b, nil, opts)
+			}
+			if err != nil {
+				return err
+			}
+			if !st.Converged {
+				t.Errorf("%s: did not converge on identity (res %g, iters %d)", name, st.FinalResidual, st.Iterations)
+				return nil
+			}
+			if st.Iterations > 2 {
+				t.Errorf("%s: %d iterations on identity", name, st.Iterations)
+			}
+			for i := range x {
+				if math.Abs(x[i]-b[i]) > 1e-10 {
+					t.Errorf("%s: x != b at %d", name, i)
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

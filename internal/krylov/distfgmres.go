@@ -1,0 +1,141 @@
+package krylov
+
+import (
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/la"
+)
+
+// DistPrecon is a distributed (right) preconditioner: Solve returns
+// z ≈ M⁻¹·r for the local pieces. FGMRES allows it to vary between
+// iterations, so a whole inner solve — possibly on unreliable hardware —
+// can serve as M.
+type DistPrecon interface {
+	Solve(c *comm.Comm, r []float64) ([]float64, error)
+}
+
+// DistFGMRES is distributed flexible GMRES(m): right-preconditioned MGS
+// Arnoldi where the preconditioner may change every iteration. It is the
+// reliable outer solver of the distributed FT-GMRES in internal/srp.
+func DistFGMRES(c *comm.Comm, a dist.Operator, precon DistPrecon, b, x0 []float64, opts DistGMRESOptions) ([]float64, Stats, error) {
+	opts.defaults()
+	n := a.LocalLen()
+	la.CheckLen("b", b, n)
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	var st Stats
+
+	bnorm, err := dist.Norm2(c, b)
+	if err != nil {
+		return x, st, err
+	}
+	st.Reductions++
+	if bnorm == 0 {
+		st.Converged = true
+		return x, st, nil
+	}
+	m := opts.Restart
+	v := make([][]float64, m+1)
+	z := make([][]float64, m)
+	h := la.NewDense(m+1, m)
+	g := make([]float64, m+1)
+	rot := make([]la.Givens, m)
+	w := make([]float64, n)
+
+	for st.Iterations < opts.MaxIter && !st.Converged {
+		if err := a.Apply(x, w); err != nil {
+			return x, st, err
+		}
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = b[i] - w[i]
+		}
+		c.Compute(float64(n))
+		beta, err := dist.Norm2(c, r)
+		if err != nil {
+			return x, st, err
+		}
+		st.Reductions++
+		if beta/bnorm <= opts.Tol {
+			st.Converged = true
+			st.FinalResidual = beta / bnorm
+			break
+		}
+		v[0] = la.Copy(r)
+		dist.Scal(c, 1/beta, v[0])
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		j := 0
+		for ; j < m && st.Iterations < opts.MaxIter; j++ {
+			zj, err := precon.Solve(c, v[j])
+			if err != nil {
+				return x, st, err
+			}
+			z[j] = zj
+			if err := a.Apply(zj, w); err != nil {
+				return x, st, err
+			}
+			for i := 0; i <= j; i++ {
+				hij, err := dist.Dot(c, w, v[i])
+				if err != nil {
+					return x, st, err
+				}
+				st.Reductions++
+				h.Set(i, j, hij)
+				dist.Axpy(c, -hij, v[i], w)
+			}
+			hj1, err := dist.Norm2(c, w)
+			if err != nil {
+				return x, st, err
+			}
+			st.Reductions++
+			if math.IsNaN(hj1) || math.IsInf(hj1, 0) {
+				j = 0
+				break
+			}
+			h.Set(j+1, j, hj1)
+			if hj1 > 0 {
+				v[j+1] = la.Copy(w)
+				dist.Scal(c, 1/hj1, v[j+1])
+			}
+			for i := 0; i < j; i++ {
+				a2, b2 := rot[i].Apply(h.At(i, j), h.At(i+1, j))
+				h.Set(i, j, a2)
+				h.Set(i+1, j, b2)
+			}
+			gv, rr := la.MakeGivens(h.At(j, j), h.At(j+1, j))
+			rot[j] = gv
+			h.Set(j, j, rr)
+			h.Set(j+1, j, 0)
+			g[j], g[j+1] = gv.Apply(g[j], g[j+1])
+
+			st.Iterations++
+			relres := math.Abs(g[j+1]) / bnorm
+			st.Residuals = append(st.Residuals, relres)
+			st.FinalResidual = relres
+			if relres <= opts.Tol || hj1 == 0 {
+				j++
+				break
+			}
+		}
+		if j > 0 {
+			y := solveHessenberg(h, g, j)
+			for i := 0; i < j; i++ {
+				dist.Axpy(c, y[i], z[i], x)
+			}
+		}
+		st.Restarts++
+		if st.FinalResidual <= opts.Tol {
+			st.Converged = true
+		}
+	}
+	st.VirtualTime = c.Clock()
+	return x, st, nil
+}

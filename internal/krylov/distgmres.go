@@ -1,0 +1,374 @@
+package krylov
+
+import (
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/la"
+)
+
+// DistGMRESOptions configures the distributed GMRES variants.
+type DistGMRESOptions struct {
+	Restart int     // m (default 30)
+	Tol     float64 // relative residual target (default 1e-8)
+	MaxIter int     // total iteration cap (default 300)
+}
+
+func (o *DistGMRESOptions) defaults() {
+	if o.Restart <= 0 {
+		o.Restart = 30
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 300
+	}
+}
+
+// DistGMRES is the "straightforward" distributed GMRES(m) the paper's
+// §III-B criticises: modified Gram–Schmidt makes j+1 *separate blocking*
+// all-reduces in iteration j (one per projection, plus the norm), so the
+// synchronisation count grows quadratically over a restart cycle. It is
+// numerically the most stable variant and serves as the latency baseline
+// for p1-GMRES in experiments F2/F3.
+func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOptions) ([]float64, Stats, error) {
+	opts.defaults()
+	n := a.LocalLen()
+	la.CheckLen("b", b, n)
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	var st Stats
+
+	bnorm, err := dist.Norm2(c, b)
+	if err != nil {
+		return x, st, err
+	}
+	st.Reductions++
+	if bnorm == 0 {
+		st.Converged = true
+		return x, st, nil
+	}
+	m := opts.Restart
+	v := make([][]float64, m+1)
+	h := la.NewDense(m+1, m)
+	g := make([]float64, m+1)
+	rot := make([]la.Givens, m)
+	w := make([]float64, n)
+
+	for st.Iterations < opts.MaxIter && !st.Converged {
+		if err := a.Apply(x, w); err != nil {
+			return x, st, err
+		}
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = b[i] - w[i]
+		}
+		c.Compute(float64(n))
+		beta, err := dist.Norm2(c, r)
+		if err != nil {
+			return x, st, err
+		}
+		st.Reductions++
+		if beta/bnorm <= opts.Tol {
+			st.Converged = true
+			st.FinalResidual = beta / bnorm
+			break
+		}
+		v[0] = la.Copy(r)
+		dist.Scal(c, 1/beta, v[0])
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		j := 0
+		for ; j < m && st.Iterations < opts.MaxIter; j++ {
+			if err := a.Apply(v[j], w); err != nil {
+				return x, st, err
+			}
+			// Modified Gram–Schmidt: one blocking reduction per basis
+			// vector — the synchronisation hot spot.
+			for i := 0; i <= j; i++ {
+				hij, err := dist.Dot(c, w, v[i])
+				if err != nil {
+					return x, st, err
+				}
+				st.Reductions++
+				h.Set(i, j, hij)
+				dist.Axpy(c, -hij, v[i], w)
+			}
+			hj1, err := dist.Norm2(c, w) // and one more for the norm
+			if err != nil {
+				return x, st, err
+			}
+			st.Reductions++
+			h.Set(j+1, j, hj1)
+			if hj1 > 0 {
+				v[j+1] = la.Copy(w)
+				dist.Scal(c, 1/hj1, v[j+1])
+			}
+			for i := 0; i < j; i++ {
+				a2, b2 := rot[i].Apply(h.At(i, j), h.At(i+1, j))
+				h.Set(i, j, a2)
+				h.Set(i+1, j, b2)
+			}
+			gv, rr := la.MakeGivens(h.At(j, j), h.At(j+1, j))
+			rot[j] = gv
+			h.Set(j, j, rr)
+			h.Set(j+1, j, 0)
+			g[j], g[j+1] = gv.Apply(g[j], g[j+1])
+
+			st.Iterations++
+			relres := math.Abs(g[j+1]) / bnorm
+			st.Residuals = append(st.Residuals, relres)
+			st.FinalResidual = relres
+			if relres <= opts.Tol || hj1 == 0 {
+				j++
+				break
+			}
+		}
+		if j > 0 {
+			y := solveHessenberg(h, g, j)
+			for i := 0; i < j; i++ {
+				dist.Axpy(c, y[i], v[i], x)
+			}
+		}
+		st.Restarts++
+		if st.FinalResidual <= opts.Tol {
+			st.Converged = true
+		}
+	}
+	st.VirtualTime = c.Clock()
+	return x, st, nil
+}
+
+// DistP1GMRES is pipelined GMRES at depth one, after Ghysels, Ashby,
+// Meerbergen and Vanroose (the paper's reference [11]). Per iteration it
+// performs one SpMV and a single merged *non-blocking* reduction that is
+// overlapped with the next SpMV. The algorithm maintains two bases with
+// the invariant z_{j+1} = A·v_j:
+//
+//	iteration i computes q = A·z_i while the reduction for z_i's
+//	Gram–Schmidt coefficients is still in flight; once it lands,
+//	h_{j,i−1} = (z_i, v_j),  h_{i,i−1} = sqrt(‖z_i‖² − Σ h²)
+//	v_i  = (z_i − Σ h_{j,i−1} v_j)/h_{i,i−1}
+//	z_{i+1} = (q  − Σ h_{j,i−1} z_{j+1})/h_{i,i−1}   (= A·v_i by linearity)
+//
+// so normalisation lags the SpMV by exactly one iteration. The square
+// root can lose accuracy when ‖z‖² ≈ Σh² (classical-Gram–Schmidt-style
+// cancellation); the solver detects a non-positive value and signals a
+// restart, the standard p(l)-GMRES safeguard.
+func DistP1GMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOptions) ([]float64, Stats, error) {
+	opts.defaults()
+	n := a.LocalLen()
+	la.CheckLen("b", b, n)
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	var st Stats
+
+	bnorm, err := dist.Norm2(c, b)
+	if err != nil {
+		return x, st, err
+	}
+	st.Reductions++
+	if bnorm == 0 {
+		st.Converged = true
+		return x, st, nil
+	}
+	m := opts.Restart
+
+	// The Pythagorean normalisation can silently commit a bad column when
+	// cancellation makes ‖z‖² − Σh² ≤ 0 without the Krylov space actually
+	// being exhausted — indistinguishable from a true happy breakdown at
+	// that point. The safeguard is cycle-level: verify the claimed
+	// residual against a true one, keep the best iterate seen, and stop
+	// if restarts stop making progress.
+	w := make([]float64, n)
+	bestX := la.Copy(x)
+	bestRes := math.Inf(1)
+	stalls := 0
+	for st.Iterations < opts.MaxIter && !st.Converged {
+		if _, err := p1Cycle(c, a, b, x, bnorm, m, opts, &st); err != nil {
+			return x, st, err
+		}
+		st.Restarts++
+		if err := a.Apply(x, w); err != nil {
+			return x, st, err
+		}
+		for i := range w {
+			w[i] = b[i] - w[i]
+		}
+		c.Compute(float64(n))
+		trueRes, err := dist.Norm2(c, w)
+		if err != nil {
+			return x, st, err
+		}
+		st.Reductions++
+		rel := trueRes / bnorm
+		st.FinalResidual = rel
+		if rel < bestRes {
+			bestRes = rel
+			copy(bestX, x)
+			stalls = 0
+		} else {
+			stalls++
+		}
+		if rel <= 10*opts.Tol {
+			st.Converged = true
+			break
+		}
+		if stalls >= 2 {
+			break // cancellation-stalled: return the best iterate
+		}
+	}
+	if !st.Converged && bestRes < st.FinalResidual {
+		copy(x, bestX)
+		st.FinalResidual = bestRes
+	}
+	st.VirtualTime = c.Clock()
+	return x, st, nil
+}
+
+// p1Cycle runs one restart cycle of p1-GMRES, updating x in place.
+func p1Cycle(c *comm.Comm, a dist.Operator, b, x []float64, bnorm float64, m int, opts DistGMRESOptions, st *Stats) (bool, error) {
+	n := a.LocalLen()
+	w := make([]float64, n)
+	if err := a.Apply(x, w); err != nil {
+		return false, err
+	}
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = b[i] - w[i]
+	}
+	c.Compute(float64(n))
+	beta, err := dist.Norm2(c, r)
+	if err != nil {
+		return false, err
+	}
+	st.Reductions++
+	if beta/bnorm <= opts.Tol {
+		st.FinalResidual = beta / bnorm
+		return true, nil
+	}
+
+	v := make([][]float64, m+1) // orthonormal basis (lags by one)
+	z := make([][]float64, m+2) // shifted basis, z[j+1] = A·v[j]
+	h := la.NewDense(m+1, m)
+	g := make([]float64, m+1)
+	rot := make([]la.Givens, m)
+	g[0] = beta
+	v[0] = la.Copy(r)
+	dist.Scal(c, 1/beta, v[0])
+	z[0] = la.Copy(v[0])
+
+	var pending *comm.Request // reduction for z[i]'s coefficients
+	q := make([]float64, n)
+	cols := 0 // completed Hessenberg columns
+
+	maxI := m
+	for i := 0; i <= maxI; i++ {
+		// SpMV on the newest shifted vector, overlapped with `pending`.
+		if i <= m {
+			if err := a.Apply(z[i], q); err != nil {
+				return false, err
+			}
+		}
+
+		if i > 0 {
+			// Complete the reduction posted for z[i] last iteration:
+			// dots = [(z_i,v_0)..(z_i,v_{i-1}), ‖z_i‖²].
+			res, err := pending.Wait()
+			if err != nil {
+				return false, err
+			}
+			sum2 := res[i]
+			hcol := res[:i]
+			ss := sum2
+			for _, hv := range hcol {
+				ss -= hv * hv
+			}
+			breakdown := ss <= 0 // Krylov space exhausted (or cancellation)
+			hii := 0.0
+			if !breakdown {
+				hii = math.Sqrt(ss)
+			}
+			for j2 := 0; j2 < i; j2++ {
+				h.Set(j2, i-1, hcol[j2])
+			}
+			h.Set(i, i-1, hii)
+
+			if !breakdown {
+				// v_i = (z_i − Σ h v_j)/h_ii ; z_{i+1} = (q − Σ h z_{j+1})/h_ii.
+				vi := la.Copy(z[i])
+				zi1 := la.Copy(q)
+				for j2 := 0; j2 < i; j2++ {
+					la.Axpy(-hcol[j2], v[j2], vi)
+					la.Axpy(-hcol[j2], z[j2+1], zi1)
+				}
+				la.Scal(1/hii, vi)
+				la.Scal(1/hii, zi1)
+				c.Compute(float64(4*i+2) * float64(n))
+				v[i] = vi
+				z[i+1] = zi1
+			}
+
+			// Givens update of column i−1. On breakdown the column (with
+			// h_ii = 0) is still recorded so the least-squares update
+			// uses everything learned — discarding it could stall
+			// forever on degenerate operators.
+			col := i - 1
+			for j2 := 0; j2 < col; j2++ {
+				a2, b2 := rot[j2].Apply(h.At(j2, col), h.At(j2+1, col))
+				h.Set(j2, col, a2)
+				h.Set(j2+1, col, b2)
+			}
+			gv, rr := la.MakeGivens(h.At(col, col), h.At(col+1, col))
+			rot[col] = gv
+			h.Set(col, col, rr)
+			h.Set(col+1, col, 0)
+			g[col], g[col+1] = gv.Apply(g[col], g[col+1])
+			cols = i
+			st.Iterations++
+			relres := math.Abs(g[col+1]) / bnorm
+			st.Residuals = append(st.Residuals, relres)
+			st.FinalResidual = relres
+			if relres <= opts.Tol || st.Iterations >= opts.MaxIter || breakdown {
+				break
+			}
+		}
+
+		if i < m {
+			// Post the merged reduction for z[i+1]'s coefficients
+			// (dots against v_0..v_i plus its own norm²). At this point
+			// z[i+1] = q for i==... no: z[i+1] is set above for i>0; for
+			// i==0 the shifted vector is exactly q = A·v_0.
+			if i == 0 {
+				z[1] = la.Copy(q)
+			}
+			locals := make([]float64, i+2)
+			for j2 := 0; j2 <= i; j2++ {
+				locals[j2] = la.Dot(z[i+1], v[j2])
+			}
+			locals[i+1] = la.Dot(z[i+1], z[i+1])
+			c.Compute(la.FlopsDot(n) * float64(i+2))
+			pending = c.IAllreduce(locals, comm.OpSum)
+			st.Reductions++
+		} else {
+			break
+		}
+	}
+
+	if cols > 0 {
+		y := solveHessenberg(h, g, cols)
+		for i := 0; i < cols; i++ {
+			dist.Axpy(c, y[i], v[i], x)
+		}
+	}
+	return st.FinalResidual <= opts.Tol, nil
+}

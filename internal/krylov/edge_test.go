@@ -1,0 +1,221 @@
+package krylov
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/problems"
+)
+
+func TestGMRESZeroRHS(t *testing.T) {
+	a := problems.Poisson1D(10)
+	x, st, err := GMRES(NewCSROp(a), make([]float64, 10), nil, GMRESOptions{})
+	if err != nil || !st.Converged || st.Iterations != 0 {
+		t.Fatalf("zero rhs: err=%v st=%+v", err, st)
+	}
+	if la.Nrm2(x) != 0 {
+		t.Error("zero rhs must give zero solution")
+	}
+}
+
+func TestGMRESWarmStartAtSolution(t *testing.T) {
+	a := problems.Poisson1D(50)
+	b, xstar := problems.ManufacturedRHS(a)
+	_, st, err := GMRES(NewCSROp(a), b, xstar, GMRESOptions{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Iterations != 0 {
+		t.Errorf("warm start at the solution should converge immediately: %+v", st)
+	}
+}
+
+func TestCGZeroRHSAndWarmStart(t *testing.T) {
+	a := problems.Poisson1D(30)
+	_, st, err := CG(NewCSROp(a), make([]float64, 30), nil, CGOptions{})
+	if err != nil || !st.Converged {
+		t.Fatalf("zero rhs: %v %+v", err, st)
+	}
+	b, xstar := problems.ManufacturedRHS(a)
+	_, st, err = CG(NewCSROp(a), b, xstar, CGOptions{Tol: 1e-8})
+	if err != nil || st.Iterations != 0 {
+		t.Fatalf("warm start: %v %+v", err, st)
+	}
+}
+
+func TestHookAbortsWithCustomError(t *testing.T) {
+	a := problems.Poisson2D(8, 8)
+	b, _ := problems.ManufacturedRHS(a)
+	sentinel := errors.New("stop now")
+	_, st, err := GMRES(NewCSROp(a), b, nil, GMRESOptions{
+		Hook: func(iter int, relres float64) error {
+			if iter >= 3 {
+				return sentinel
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("want sentinel error, got %v", err)
+	}
+	if st.Iterations != 3 {
+		t.Errorf("aborted after %d iterations, want 3", st.Iterations)
+	}
+}
+
+func TestCGHookAborts(t *testing.T) {
+	a := problems.Poisson2D(8, 8)
+	b, _ := problems.ManufacturedRHS(a)
+	sentinel := errors.New("halt")
+	_, _, err := CG(NewCSROp(a), b, nil, CGOptions{
+		Hook: func(iter int, relres float64) error {
+			if iter >= 2 {
+				return sentinel
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("want sentinel, got %v", err)
+	}
+}
+
+// TestCGGracefulOnIndefinite: CG on a negative-definite operator must
+// stop (sigma ≤ 0 guard) rather than diverge or panic.
+func TestCGGracefulOnIndefinite(t *testing.T) {
+	a := problems.Poisson1D(20)
+	neg := &scaledOp{inner: NewCSROp(a), s: -1}
+	b := problems.OnesRHS(20)
+	_, st, err := CG(neg, b, nil, CGOptions{MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Converged {
+		t.Error("cannot converge on a negative-definite system")
+	}
+}
+
+type scaledOp struct {
+	inner Op
+	s     float64
+}
+
+func (o *scaledOp) Apply(x []float64) []float64 {
+	y := o.inner.Apply(x)
+	la.Scal(o.s, y)
+	return y
+}
+func (o *scaledOp) Size() int        { return o.inner.Size() }
+func (o *scaledOp) NormInf() float64 { return o.inner.NormInf() }
+
+// TestGMRESResidualMonotoneWithinCycle: the Givens residual estimate is
+// non-increasing within an Arnoldi cycle — the invariant the skeptical
+// residual-monotonicity check would rely on.
+func TestGMRESResidualMonotoneWithinCycle(t *testing.T) {
+	a := problems.ConvDiff2D(16, 16, 10, 5)
+	b, _ := problems.ManufacturedRHS(a)
+	_, st, err := GMRES(NewCSROp(a), b, nil, GMRESOptions{Restart: 200, Tol: 1e-10, MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(st.Residuals); i++ {
+		if st.Residuals[i] > st.Residuals[i-1]*(1+1e-12) {
+			t.Fatalf("residual increased at iter %d: %g -> %g", i, st.Residuals[i-1], st.Residuals[i])
+		}
+	}
+}
+
+// TestStatsResidualHistoryLength: history bookkeeping matches the
+// iteration count.
+func TestStatsResidualHistoryLength(t *testing.T) {
+	a := problems.Poisson2D(10, 10)
+	b, _ := problems.ManufacturedRHS(a)
+	for _, m := range []int{5, 20, 60} {
+		_, st, err := GMRES(NewCSROp(a), b, nil, GMRESOptions{Restart: m, Tol: 1e-9, MaxIter: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Residuals) != st.Iterations {
+			t.Errorf("m=%d: %d residuals for %d iterations", m, len(st.Residuals), st.Iterations)
+		}
+		if !st.Converged {
+			t.Errorf("m=%d: did not converge", m)
+		}
+	}
+}
+
+// TestOpDefaults exercises option defaulting.
+func TestOptionDefaults(t *testing.T) {
+	var g GMRESOptions
+	g.defaults()
+	if g.Restart != 30 || g.Tol != 1e-8 || g.MaxIter != 1000 {
+		t.Errorf("GMRES defaults: %+v", g)
+	}
+	var c CGOptions
+	c.defaults()
+	if c.Tol != 1e-8 || c.MaxIter != 1000 {
+		t.Errorf("CG defaults: %+v", c)
+	}
+	var d DistOptions
+	d.defaults()
+	if d.Tol != 1e-8 || d.MaxIter != 500 {
+		t.Errorf("Dist defaults: %+v", d)
+	}
+	var dg DistGMRESOptions
+	dg.defaults()
+	if dg.Restart != 30 || dg.MaxIter != 300 {
+		t.Errorf("DistGMRES defaults: %+v", dg)
+	}
+}
+
+// TestFGMRESVariablePrecon: the preconditioner genuinely may change per
+// iteration and FGMRES still converges (the property FT-GMRES needs).
+func TestFGMRESVariablePrecon(t *testing.T) {
+	a := problems.ConvDiff2D(14, 14, 10, 5)
+	b, xstar := problems.ManufacturedRHS(a)
+	vp := &varyingPrecon{d: a.Diag()}
+	x, st, err := GMRES(NewCSROp(a), b, nil, GMRESOptions{Restart: 40, Tol: 1e-9, MaxIter: 300, Precon: vp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("FGMRES with varying precon did not converge: %g", st.FinalResidual)
+	}
+	if e := la.NrmInf(la.Sub(x, xstar)); e > 1e-6 {
+		t.Errorf("error %g", e)
+	}
+	if vp.calls < 2 {
+		t.Error("preconditioner was barely used")
+	}
+}
+
+type varyingPrecon struct {
+	d     []float64
+	calls int
+}
+
+func (p *varyingPrecon) Solve(r []float64) []float64 {
+	p.calls++
+	z := make([]float64, len(r))
+	// Alternate between Jacobi and damped Jacobi: a different operator
+	// every call, which plain right-preconditioned GMRES cannot absorb
+	// but FGMRES can.
+	damp := 1.0
+	if p.calls%2 == 0 {
+		damp = 0.5
+	}
+	for i := range r {
+		z[i] = damp * r[i] / p.d[i]
+	}
+	return z
+}
+
+func ExampleGMRES() {
+	a := problems.Poisson1D(100)
+	b, _ := problems.ManufacturedRHS(a)
+	_, st, _ := GMRES(NewCSROp(a), b, nil, GMRESOptions{Tol: 1e-10})
+	fmt.Println("converged:", st.Converged)
+	// Output: converged: true
+}

@@ -1,0 +1,31 @@
+package krylov
+
+import "repro/internal/fault"
+
+// FaultyOp wraps an operator so that every Apply result passes through a
+// fault injector — the software stand-in for silent data corruption in
+// the dominant solver kernel (SpMV). The wrapped operator reports the
+// same NormInf as the clean one, which is what the skeptical bound check
+// needs (the bound describes the *intended* operator).
+type FaultyOp struct {
+	Inner    Op
+	Injector *fault.VectorInjector
+}
+
+// NewFaultyOp wraps inner with the given injector.
+func NewFaultyOp(inner Op, inj *fault.VectorInjector) *FaultyOp {
+	return &FaultyOp{Inner: inner, Injector: inj}
+}
+
+// Apply implements Op: the clean product, then injected corruption.
+func (f *FaultyOp) Apply(x []float64) []float64 {
+	y := f.Inner.Apply(x)
+	f.Injector.Pass(y)
+	return y
+}
+
+// Size implements Op.
+func (f *FaultyOp) Size() int { return f.Inner.Size() }
+
+// NormInf implements Op.
+func (f *FaultyOp) NormInf() float64 { return f.Inner.NormInf() }

@@ -1,0 +1,214 @@
+package krylov
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/la"
+)
+
+// GMRESOptions configures the serial GMRES(m) solver.
+type GMRESOptions struct {
+	Restart int     // m: restart length (default 30)
+	Tol     float64 // relative residual target (default 1e-8)
+	MaxIter int     // total iteration cap (default 1000)
+	Hook    IterationHook
+	// ArnoldiHook, when non-nil, observes the Arnoldi state after each
+	// step: the basis v[0..j+1] and the Hessenberg column j. The
+	// skeptical layer uses it for orthogonality and Hessenberg-sanity
+	// checks. Returning ErrRestartCycle abandons the current cycle
+	// (discarding the possibly corrupted basis) and restarts from the
+	// current iterate; any other non-nil error aborts the solve.
+	ArnoldiHook func(j int, v [][]float64, h *la.Dense) error
+	// Precon, when non-nil, turns the solver into right-preconditioned
+	// flexible GMRES (FGMRES): the preconditioner may differ arbitrarily
+	// between iterations, the property FT-GMRES depends on.
+	Precon Preconditioner
+}
+
+// ErrRestartCycle is returned by an ArnoldiHook to request that GMRES
+// discard the current (suspect) Krylov cycle and restart from the current
+// iterate — the cheap recovery action of skeptical programming: roll back
+// to the last known-valid state.
+var ErrRestartCycle = errors.New("krylov: hook requested a cycle restart")
+
+func (o *GMRESOptions) defaults() {
+	if o.Restart <= 0 {
+		o.Restart = 30
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+}
+
+// GMRES solves A·x = b with restarted GMRES(m) using modified
+// Gram–Schmidt Arnoldi and Givens rotations, starting from x0 (nil for
+// zero). With Precon set it is flexible GMRES. It returns the solution
+// and solve statistics; it does not fail on stagnation, only reports
+// Converged=false.
+func GMRES(a Op, b []float64, x0 []float64, opts GMRESOptions) ([]float64, Stats, error) {
+	opts.defaults()
+	n := a.Size()
+	la.CheckLen("b", b, n)
+	x := make([]float64, n)
+	if x0 != nil {
+		la.CheckLen("x0", x0, n)
+		copy(x, x0)
+	}
+	var st Stats
+
+	bnorm := la.Nrm2(b)
+	if bnorm == 0 {
+		st.Converged = true
+		return x, st, nil
+	}
+	m := opts.Restart
+
+	// Workspace reused across restarts.
+	v := make([][]float64, m+1) // Krylov basis
+	var z [][]float64           // FGMRES: preconditioned directions
+	if opts.Precon != nil {
+		z = make([][]float64, m)
+	}
+	h := la.NewDense(m+1, m)  // Hessenberg
+	g := make([]float64, m+1) // rotated RHS of the LS problem
+	rot := make([]la.Givens, m)
+
+	for st.Iterations < opts.MaxIter {
+		// Residual for this cycle.
+		r := la.Sub(b, a.Apply(x))
+		beta := la.Nrm2(r)
+		if math.IsNaN(beta) || math.IsInf(beta, 0) {
+			// The iterate is corrupt beyond repair (possible when the
+			// operator itself is faulty, e.g. an SRP inner solve): stop
+			// and report non-convergence; the caller sanitises.
+			st.FinalResidual = math.Inf(1)
+			return x, st, nil
+		}
+		relres := beta / bnorm
+		st.FinalResidual = relres
+		if relres <= opts.Tol {
+			st.Converged = true
+			return x, st, nil
+		}
+		v[0] = la.Copy(r)
+		la.Scal(1/beta, v[0])
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		j := 0
+		for ; j < m && st.Iterations < opts.MaxIter; j++ {
+			var dir []float64
+			if opts.Precon != nil {
+				zj := opts.Precon.Solve(v[j])
+				z[j] = zj
+				dir = zj
+			} else {
+				dir = v[j]
+			}
+			w := a.Apply(dir)
+			// Modified Gram–Schmidt.
+			for i := 0; i <= j; i++ {
+				hij := la.Dot(w, v[i])
+				h.Set(i, j, hij)
+				la.Axpy(-hij, v[i], w)
+			}
+			hj1 := la.Nrm2(w)
+			if math.IsNaN(hj1) || math.IsInf(hj1, 0) {
+				// Corrupted Arnoldi vector: abandon the cycle; the next
+				// cycle recomputes a true residual (and bails out above
+				// if the iterate itself is corrupt).
+				j = 0
+				break
+			}
+			h.Set(j+1, j, hj1)
+			if hj1 > 0 {
+				v[j+1] = la.Copy(w)
+				la.Scal(1/hj1, v[j+1])
+			}
+
+			// Apply previous rotations to the new column, then create the
+			// rotation annihilating the subdiagonal.
+			for i := 0; i < j; i++ {
+				a2, b2 := rot[i].Apply(h.At(i, j), h.At(i+1, j))
+				h.Set(i, j, a2)
+				h.Set(i+1, j, b2)
+			}
+			gv, rr := la.MakeGivens(h.At(j, j), h.At(j+1, j))
+			rot[j] = gv
+			h.Set(j, j, rr)
+			h.Set(j+1, j, 0)
+			g[j], g[j+1] = gv.Apply(g[j], g[j+1])
+
+			st.Iterations++
+			relres = math.Abs(g[j+1]) / bnorm
+			st.Residuals = append(st.Residuals, relres)
+			st.FinalResidual = relres
+			if opts.ArnoldiHook != nil {
+				if err := opts.ArnoldiHook(j, v, h); err != nil {
+					if errors.Is(err, ErrRestartCycle) {
+						// Discard this cycle: the basis is suspect. x is
+						// untouched since the last update, so restarting
+						// from it is a rollback to valid state.
+						st.Anomalies++
+						j = 0
+						break
+					}
+					return x, st, err
+				}
+			}
+			if opts.Hook != nil {
+				if err := opts.Hook(st.Iterations, relres); err != nil {
+					return x, st, err
+				}
+			}
+			if relres <= opts.Tol || hj1 == 0 {
+				j++
+				break
+			}
+		}
+
+		// Solve the j×j triangular system and update x.
+		if j > 0 {
+			y := solveHessenberg(h, g, j)
+			for i := 0; i < j; i++ {
+				if opts.Precon != nil {
+					la.Axpy(y[i], z[i], x)
+				} else {
+					la.Axpy(y[i], v[i], x)
+				}
+			}
+		}
+		st.Restarts++
+		if st.FinalResidual <= opts.Tol {
+			// Confirm with a true residual (protects against a corrupted
+			// Givens recurrence claiming false convergence).
+			tr := la.Nrm2(la.Sub(b, a.Apply(x))) / bnorm
+			st.FinalResidual = tr
+			if tr <= 10*opts.Tol {
+				st.Converged = true
+				return x, st, nil
+			}
+		}
+	}
+	return x, st, nil
+}
+
+// solveHessenberg back-substitutes the rotated leading j×j triangle of h
+// against g.
+func solveHessenberg(h *la.Dense, g []float64, j int) []float64 {
+	y := make([]float64, j)
+	for i := j - 1; i >= 0; i-- {
+		s := g[i]
+		for k := i + 1; k < j; k++ {
+			s -= h.At(i, k) * y[k]
+		}
+		y[i] = s / h.At(i, i)
+	}
+	return y
+}

@@ -1,0 +1,87 @@
+// Package krylov implements the iterative solvers the paper's algorithm
+// sections are built around: serial and distributed CG and GMRES(m), the
+// flexible variant FGMRES (the reliable outer solver of FT-GMRES, §III-D),
+// and the latency-tolerant variants of §III-B — Ghysels–Vanroose pipelined
+// CG and depth-1 pipelined GMRES (p1-GMRES, the paper's reference [11]) —
+// which overlap global reductions with matrix-vector products using the
+// non-blocking collectives of internal/comm.
+package krylov
+
+import (
+	"errors"
+
+	"repro/internal/la"
+)
+
+// Op is a linear operator y = A·x for serial solvers. Implementations
+// may be exact (CSROp), fault-injected (FaultyOp), or checked/corrected
+// (the skeptical wrappers in internal/skp).
+type Op interface {
+	// Apply returns A·x in a fresh slice.
+	Apply(x []float64) []float64
+	// Size returns the dimension.
+	Size() int
+	// NormInf returns an upper bound on ‖A‖∞ for skeptical bounds checks.
+	NormInf() float64
+}
+
+// CSROp adapts a la.CSR to Op.
+type CSROp struct {
+	A *la.CSR
+
+	norm     float64
+	normDone bool
+}
+
+// NewCSROp wraps a sparse matrix.
+func NewCSROp(a *la.CSR) *CSROp { return &CSROp{A: a} }
+
+// Apply implements Op.
+func (o *CSROp) Apply(x []float64) []float64 { return o.A.MatVec(x, nil) }
+
+// Size implements Op.
+func (o *CSROp) Size() int { return o.A.Rows }
+
+// NormInf implements Op (cached).
+func (o *CSROp) NormInf() float64 {
+	if !o.normDone {
+		o.norm = o.A.NormInf()
+		o.normDone = true
+	}
+	return o.norm
+}
+
+// Preconditioner solves M·z = r approximately. FGMRES allows it to change
+// between iterations, which is how FT-GMRES runs a whole unreliable inner
+// solve per outer step.
+type Preconditioner interface {
+	// Solve returns z ≈ M⁻¹·r in a fresh slice.
+	Solve(r []float64) []float64
+}
+
+// IdentityPrecon is the no-op preconditioner.
+type IdentityPrecon struct{}
+
+// Solve returns a copy of r.
+func (IdentityPrecon) Solve(r []float64) []float64 { return la.Copy(r) }
+
+// Stats records a solve's trajectory for the experiment tables.
+type Stats struct {
+	Iterations    int       // total inner iterations performed
+	Restarts      int       // GMRES restart cycles used
+	Converged     bool      // reached the requested tolerance
+	FinalResidual float64   // last (estimated) relative residual
+	Residuals     []float64 // per-iteration relative residual history
+	Anomalies     int       // skeptical-check hits observed via hooks
+	VirtualTime   float64   // end-of-solve virtual clock (distributed only)
+	Reductions    int       // number of global reductions (distributed only)
+}
+
+// ErrDetectedFault is returned by solvers whose hooks report an invariant
+// violation under a detect-only (no correction) policy.
+var ErrDetectedFault = errors.New("krylov: skeptical check detected an invariant violation")
+
+// IterationHook observes solver internals once per iteration; returning a
+// non-nil error aborts the solve with that error. The skeptical layer
+// uses hooks for orthogonality and residual-monotonicity checks.
+type IterationHook func(iter int, relres float64) error

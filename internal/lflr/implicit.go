@@ -1,0 +1,299 @@
+package lflr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/krylov"
+	"repro/internal/la"
+)
+
+// ImplicitConfig describes the backward-Euler LFLR heat run of experiment
+// T3: each time step solves (I + ν·L)·u' = u with distributed CG, and
+// each rank persists a *coarsened* replica of its strip (coarsening
+// factor Coarsen per dimension, so the replica costs ~1/Coarsen² of the
+// state). On failure the replacement bootstraps from the interpolated
+// coarse model — §III-C's "redundant storage of coarse model" recovery —
+// which is approximate: the experiment measures how the approximation
+// error and the post-recovery solver effort scale with Coarsen.
+type ImplicitConfig struct {
+	Nx, Ny    int
+	Nu        float64 // implicit diffusion number (any positive value is stable)
+	Steps     int
+	Coarsen   int // replica coarsening factor (1 = exact replica)
+	Killer    Killer
+	CGTol     float64
+	CGMaxIter int
+}
+
+// ImplicitResult reports one implicit run.
+type ImplicitResult struct {
+	U             []float64
+	FinalClock    float64
+	Recoveries    int
+	CGIters       []int // per-step global CG iteration counts
+	ReplicaFloats int   // per-rank replica size actually persisted
+}
+
+type implicitRank struct {
+	ctx      *Ctx
+	cfg      ImplicitConfig
+	op       *dist.Stencil5
+	nx       int
+	jlo, jhi int
+	u, uPrev []float64
+	updates  int
+	cgIters  []int
+	replicaN int
+}
+
+// RunImplicitHeat executes the scenario and returns rank 0's view.
+func RunImplicitHeat(world *comm.World, store *Store, cfg ImplicitConfig) (ImplicitResult, error) {
+	if cfg.Coarsen <= 0 {
+		cfg.Coarsen = 1
+	}
+	if cfg.CGTol <= 0 {
+		cfg.CGTol = 1e-10
+	}
+	if cfg.CGMaxIter <= 0 {
+		cfg.CGMaxIter = 500
+	}
+	rt := NewRuntime(world, store)
+	resCh := make(chan ImplicitResult, 1)
+
+	recoveries, err := rt.Execute(func(ctx *Ctx) error {
+		ir := &implicitRank{ctx: ctx, cfg: cfg, nx: cfg.Nx}
+		ir.op = dist.NewStencil5(ctx.Comm, cfg.Nx, cfg.Ny, 1+4*cfg.Nu, -cfg.Nu)
+		ir.jlo, ir.jhi = ir.op.Rows()
+
+		if ctx.Recovering {
+			if err := ir.restoreCoarse(); err != nil {
+				return err
+			}
+			if err := ir.recoverProtocol(); err != nil {
+				return err
+			}
+			// From here on this rank is an ordinary survivor.
+			ctx.Recovering = false
+		} else {
+			ir.initState()
+		}
+		if err := ir.mainLoop(); err != nil {
+			return err
+		}
+
+		full, err := ctx.Comm.Allgather(ir.u)
+		if err != nil {
+			return err
+		}
+		clock, err := ctx.Comm.AllreduceScalar(ctx.Comm.Clock(), comm.OpMax)
+		if err != nil {
+			return err
+		}
+		if ctx.Comm.Rank() == 0 {
+			resCh <- ImplicitResult{U: full, FinalClock: clock, CGIters: ir.cgIters, ReplicaFloats: ir.replicaN}
+		}
+		return nil
+	})
+	if err != nil {
+		return ImplicitResult{}, err
+	}
+	res := <-resCh
+	res.Recoveries = recoveries
+	return res, nil
+}
+
+func (r *implicitRank) initState() {
+	nRows := r.jhi - r.jlo
+	r.u = make([]float64, nRows*r.nx)
+	r.uPrev = make([]float64, nRows*r.nx)
+	for j := 0; j < nRows; j++ {
+		gj := r.jlo + j
+		for i := 0; i < r.nx; i++ {
+			x := float64(i+1) / float64(r.cfg.Nx+1)
+			y := float64(gj+1) / float64(r.cfg.Ny+1)
+			r.u[j*r.nx+i] = math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+		}
+	}
+}
+
+func (r *implicitRank) mainLoop() error {
+	for r.updates < r.cfg.Steps {
+		err := r.doStep()
+		switch {
+		case err == nil:
+			continue
+		case errors.Is(err, comm.ErrRankFailed):
+			r.ctx.AwaitRepair()
+			if err := r.recoverProtocol(); err != nil {
+				return err
+			}
+		default:
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *implicitRank) doStep() error {
+	c := r.ctx.Comm
+	s := r.updates
+
+	// Persist the coarse replica *before* the kill check so the replica
+	// matches the survivors' pre-step state exactly and the recovery
+	// error isolates the coarsening effect.
+	r.persistCoarse(s)
+	if r.cfg.Killer != nil && r.cfg.Killer.ShouldDie(c.Rank(), s) {
+		return c.Die()
+	}
+
+	copy(r.uPrev, r.u)
+	x, st, err := krylov.DistCG(c, r.op, r.u, r.u, krylov.DistOptions{Tol: r.cfg.CGTol, MaxIter: r.cfg.CGMaxIter})
+	if err != nil {
+		return err
+	}
+	r.u = x
+	r.updates++
+	r.cgIters = append(r.cgIters, st.Iterations)
+
+	localE := la.Dot(r.u, r.u)
+	c.Compute(la.FlopsDot(len(r.u)))
+	_, err = c.AllreduceScalar(localE, comm.OpSum)
+	return err
+}
+
+// persistCoarse saves the sampled strip and step number.
+func (r *implicitRank) persistCoarse(step int) {
+	cs := r.cfg.Coarsen
+	si := sampleIdx(r.nx, cs)
+	sj := sampleIdx(r.jhi-r.jlo, cs)
+	coarse := make([]float64, 0, len(si)*len(sj))
+	for _, j := range sj {
+		for _, i := range si {
+			coarse = append(coarse, r.u[j*r.nx+i])
+		}
+	}
+	r.replicaN = len(coarse)
+	r.ctx.Store.Save(r.ctx.Comm, "coarse", coarse)
+	r.ctx.Store.SaveScalar(r.ctx.Comm, "step", float64(step))
+}
+
+// restoreCoarse rebuilds the fine strip by bilinear interpolation of the
+// persisted coarse replica — the bootstrap state of §III-C.
+func (r *implicitRank) restoreCoarse() error {
+	coarse, ok := r.ctx.Store.Restore(r.ctx.Comm, "coarse")
+	if !ok {
+		return fmt.Errorf("lflr: rank %d has no coarse replica", r.ctx.Comm.Rank())
+	}
+	sv, _ := r.ctx.Store.RestoreScalar(r.ctx.Comm, "step")
+	nRows := r.jhi - r.jlo
+	cs := r.cfg.Coarsen
+	si := sampleIdx(r.nx, cs)
+	sj := sampleIdx(nRows, cs)
+	if len(coarse) != len(si)*len(sj) {
+		return fmt.Errorf("lflr: coarse replica has %d values, want %d", len(coarse), len(si)*len(sj))
+	}
+	r.u = make([]float64, nRows*r.nx)
+	r.uPrev = make([]float64, nRows*r.nx)
+	for j := 0; j < nRows; j++ {
+		for i := 0; i < r.nx; i++ {
+			r.u[j*r.nx+i] = bilinear(coarse, si, sj, i, j)
+		}
+	}
+	r.updates = int(sv)
+	r.cgIters = nil
+	return nil
+}
+
+// recoverProtocol for the implicit solver: consensus on the target step,
+// survivor rollback via uPrev, and the recovering rank accepting the
+// (interpolated, approximate) bootstrap state.
+func (r *implicitRank) recoverProtocol() error {
+	c := r.ctx.Comm
+	rec := 0.0
+	if r.ctx.Recovering {
+		rec = 1
+	}
+	info, err := c.Allgather([]float64{float64(r.updates), rec})
+	if err != nil {
+		return err
+	}
+	target := math.MaxInt32
+	anyRecovering := false
+	for rr := 0; rr < c.Size(); rr++ {
+		if info[2*rr+1] == 1 {
+			anyRecovering = true
+			continue
+		}
+		if up := int(info[2*rr]); up < target {
+			target = up
+		}
+	}
+	if !anyRecovering {
+		return nil
+	}
+	if !r.ctx.Recovering && r.updates > target {
+		r.u, r.uPrev = r.uPrev, r.u
+		r.updates--
+		if r.updates != target {
+			return fmt.Errorf("lflr: implicit rollback gap on rank %d", c.Rank())
+		}
+	}
+	if r.ctx.Recovering && r.updates != target {
+		// The replica always corresponds to the pre-step state of the
+		// kill step, which is the consensus target by construction.
+		return fmt.Errorf("lflr: coarse replica step %d does not match target %d", r.updates, target)
+	}
+	return nil
+}
+
+// sampleIdx returns 0, c, 2c, … plus the last index (so interpolation has
+// support up to the strip edge).
+func sampleIdx(n, c int) []int {
+	if n <= 0 {
+		return nil
+	}
+	var idx []int
+	for i := 0; i < n; i += c {
+		idx = append(idx, i)
+	}
+	if idx[len(idx)-1] != n-1 {
+		idx = append(idx, n-1)
+	}
+	return idx
+}
+
+// bilinear interpolates the coarse grid (values at rows sj × cols si) at
+// fine point (i, j).
+func bilinear(coarse []float64, si, sj []int, i, j int) float64 {
+	ci := bracket(si, i)
+	cj := bracket(sj, j)
+	i0, i1 := si[ci], si[min(ci+1, len(si)-1)]
+	j0, j1 := sj[cj], sj[min(cj+1, len(sj)-1)]
+	at := func(cjj, cii int) float64 { return coarse[cjj*len(si)+cii] }
+	tx := 0.0
+	if i1 > i0 {
+		tx = float64(i-i0) / float64(i1-i0)
+	}
+	ty := 0.0
+	if j1 > j0 {
+		ty = float64(j-j0) / float64(j1-j0)
+	}
+	v00 := at(cj, ci)
+	v01 := at(cj, min(ci+1, len(si)-1))
+	v10 := at(min(cj+1, len(sj)-1), ci)
+	v11 := at(min(cj+1, len(sj)-1), min(ci+1, len(si)-1))
+	return (1-ty)*((1-tx)*v00+tx*v01) + ty*((1-tx)*v10+tx*v11)
+}
+
+// bracket returns the largest k with s[k] <= v.
+func bracket(s []int, v int) int {
+	k := 0
+	for k+1 < len(s) && s[k+1] <= v {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,150 @@
+package lflr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// Ctx is the per-rank handle an LFLR application runs with: the
+// communicator, the persistent store, and the recovery hooks.
+type Ctx struct {
+	Comm  *comm.Comm
+	Store *Store
+	// Recovering is true when this rank is a replacement process spawned
+	// into a failed rank's slot: the entry function should restore state
+	// from the Store instead of initialising fresh. The application MUST
+	// clear it once its initial recovery pass completes — on any later
+	// failure this rank is an ordinary survivor, and leaving the flag set
+	// would make it skip its survivor-side duties in the next recovery.
+	Recovering bool
+
+	rt *Runtime
+}
+
+// AwaitRepair parks a surviving rank after it observed ErrRankFailed,
+// until the supervisor has respawned the failed rank and repaired the
+// world. On return the rank has joined the new epoch and may communicate
+// again. The application then runs its own recovery protocol (state
+// rollback, log replay) before resuming.
+func (ctx *Ctx) AwaitRepair() {
+	rel := make(chan repairMsg)
+	ctx.rt.parkCh <- parkReq{rank: ctx.Comm.Rank(), clock: ctx.Comm.Clock(), release: rel}
+	msg := <-rel
+	ctx.Comm.JoinEpoch(msg.epoch)
+}
+
+type parkReq struct {
+	rank    int
+	clock   float64
+	release chan repairMsg
+}
+
+type repairMsg struct {
+	epoch int
+}
+
+type exitNotice struct {
+	rank  int
+	clock float64
+	err   error
+}
+
+// Runtime is the LFLR supervisor: it launches the world, watches for rank
+// deaths, respawns replacements into the failed slots (with Recovering
+// set), repairs the communication epoch, and releases parked survivors.
+// It implements the system-software side of the §II-C contract.
+type Runtime struct {
+	world *comm.World
+	store *Store
+	// RespawnCost is the virtual time to boot a replacement process
+	// (default 10 ms — process launch, library init).
+	RespawnCost float64
+
+	parkCh chan parkReq
+	exitCh chan exitNotice
+}
+
+// NewRuntime wraps a world with LFLR supervision.
+func NewRuntime(world *comm.World, store *Store) *Runtime {
+	return &Runtime{
+		world:       world,
+		store:       store,
+		RespawnCost: 10e-3,
+		parkCh:      make(chan parkReq, world.Size()),
+		exitCh:      make(chan exitNotice, world.Size()),
+	}
+}
+
+// Execute runs entry on every rank and supervises until all ranks have
+// completed. Ranks that die (comm.ErrKilled) are respawned with
+// Ctx.Recovering=true; survivors park in AwaitRepair and are released
+// once the world is repaired. Any other rank error aborts the run.
+// It returns the number of recoveries performed.
+func (rt *Runtime) Execute(entry func(*Ctx) error) (recoveries int, err error) {
+	n := rt.world.Size()
+	wrap := func(recovering bool) func(c *comm.Comm) error {
+		return func(c *comm.Comm) error {
+			e := entry(&Ctx{Comm: c, Store: rt.store, Recovering: recovering, rt: rt})
+			rt.exitCh <- exitNotice{rank: c.Rank(), clock: c.Clock(), err: e}
+			return e
+		}
+	}
+	for r := 0; r < n; r++ {
+		rt.world.Spawn(r, 0, wrap(false))
+	}
+
+	finished := 0
+	for finished < n {
+		note := <-rt.exitCh
+		switch {
+		case note.err == nil:
+			finished++
+		case errors.Is(note.err, comm.ErrKilled):
+			// Collect the survivors: every remaining rank must either
+			// park, finish, or also die before the world can be repaired.
+			dead := []exitNotice{note}
+			maxClock := note.clock
+			var parks []parkReq
+			abort := error(nil)
+			for len(parks)+len(dead)+finished < n {
+				select {
+				case p := <-rt.parkCh:
+					parks = append(parks, p)
+					if p.clock > maxClock {
+						maxClock = p.clock
+					}
+				case e := <-rt.exitCh:
+					switch {
+					case e.err == nil:
+						finished++
+					case errors.Is(e.err, comm.ErrKilled):
+						dead = append(dead, e)
+						if e.clock > maxClock {
+							maxClock = e.clock
+						}
+					default:
+						abort = e.err
+						finished++ // the rank is gone either way
+					}
+				}
+			}
+			if abort != nil {
+				return recoveries, fmt.Errorf("lflr: unrecoverable failure during repair: %w", abort)
+			}
+			epoch := rt.world.Repair()
+			for _, d := range dead {
+				rt.world.Spawn(d.rank, maxClock+rt.RespawnCost, wrap(true))
+				recoveries++
+			}
+			for _, p := range parks {
+				p.release <- repairMsg{epoch: epoch}
+			}
+		default:
+			return recoveries, fmt.Errorf("lflr: rank %d failed unrecoverably: %w", note.rank, note.err)
+		}
+	}
+	rt.world.Wait()
+	return recoveries, nil
+}

@@ -1,0 +1,108 @@
+// Package lflr implements the Local-Failure-Local-Recovery programming
+// model of paper §II-C, verbatim from its definition: the user "store[s]
+// specific data persistently for each MPI process", registers recovery
+// behaviour, and on failure "a new process is started and assigned to the
+// rank of the failed process", with access to "the persistent data of the
+// old process, as well as the neighbors' persistent data". Processes that
+// hold valid state are not restarted — only the failed rank recovers,
+// with neighbours assisting (here: by replaying logged halo messages).
+//
+// On top of the model the package provides two complete applications:
+// the explicit heat equation with sender-side message logging (the "easy"
+// case of §III-C, recovering bitwise-exactly), and the implicit
+// backward-Euler heat equation bootstrapped from a coarsened redundant
+// replica (§III-C's "redundant storage of coarse model" bullet).
+package lflr
+
+import (
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/la"
+)
+
+// Store is the per-rank persistent key-value store of the LFLR model.
+// Data written here survives the owner's process failure — physically it
+// would live in NVM or a neighbour's memory; the simulation keeps it in
+// the supervisor's address space and charges the owning rank the
+// replication cost of shipping each Save to a partner rank, so virtual
+// time reflects the real protocol while the payload takes the reliable
+// path.
+type Store struct {
+	mu   sync.Mutex
+	vals map[int]map[string][]float64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{vals: make(map[int]map[string][]float64)}
+}
+
+// Save persists data under key for the calling rank, charging the rank
+// one neighbour-replication transfer (latency + bandwidth + both
+// overheads) of virtual time.
+func (s *Store) Save(c *comm.Comm, key string, data []float64) {
+	c.AdvanceClock(chargeModel(c, len(data)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.vals[c.Rank()]
+	if m == nil {
+		m = make(map[string][]float64)
+		s.vals[c.Rank()] = m
+	}
+	m[key] = la.Copy(data)
+}
+
+// SaveScalar persists a single value.
+func (s *Store) SaveScalar(c *comm.Comm, key string, v float64) {
+	s.Save(c, key, []float64{v})
+}
+
+// Restore fetches the calling rank's persisted data for key, charging
+// one replica-fetch transfer. ok is false if nothing was saved.
+func (s *Store) Restore(c *comm.Comm, key string) (data []float64, ok bool) {
+	s.mu.Lock()
+	m := s.vals[c.Rank()]
+	var v []float64
+	if m != nil {
+		v, ok = m[key]
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	c.AdvanceClock(chargeModel(c, len(v)))
+	return la.Copy(v), true
+}
+
+// RestoreScalar fetches a single persisted value.
+func (s *Store) RestoreScalar(c *comm.Comm, key string) (float64, bool) {
+	v, ok := s.Restore(c, key)
+	if !ok || len(v) == 0 {
+		return 0, false
+	}
+	return v[0], true
+}
+
+// Peek reads rank r's persisted data without charging anyone (harness
+// and test use only).
+func (s *Store) Peek(rank int, key string) ([]float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.vals[rank]
+	if m == nil {
+		return nil, false
+	}
+	v, ok := m[key]
+	if !ok {
+		return nil, false
+	}
+	return la.Copy(v), true
+}
+
+// chargeModel prices one store transfer of n float64s: a point-to-point
+// message to the replica partner plus CPU overhead on both ends.
+func chargeModel(c *comm.Comm, n int) float64 {
+	cost := c.World().Cost()
+	return cost.PointToPoint(8*n) + 2*cost.Overhead
+}

@@ -1,0 +1,81 @@
+package machine
+
+import "math"
+
+// CostModel is a LogP-flavoured cost model for the simulated machine.
+// All times are in seconds of virtual time.
+//
+// A point-to-point message of b bytes from a rank at local time t arrives
+// at the receiver no earlier than t + Overhead + Alpha + Beta*b, and the
+// receiver pays another Overhead to absorb it. A binomial-tree collective
+// over P ranks costs 2*ceil(log2(P)) * (Alpha + Beta*msgBytes) past the
+// time the last participant enters (reduce phase + broadcast phase).
+// Computation of w floating-point operations costs Gamma*w.
+//
+// The defaults are loosely calibrated to a 2013-era commodity cluster
+// (the paper's era): ~1 microsecond network latency, ~10 GB/s links,
+// ~10 GFLOP/s per core. Absolute values only set the scale; the
+// experiments report ratios and crossover points, which depend on the
+// ratios Alpha/Gamma and Beta/Gamma.
+type CostModel struct {
+	Alpha    float64 // per-message latency (s)
+	Beta     float64 // per-byte transfer cost (s/B)
+	Gamma    float64 // per-flop compute cost (s/flop)
+	Overhead float64 // per-message CPU overhead on each side (s)
+}
+
+// DefaultCostModel returns the calibration described on CostModel.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Alpha:    1e-6,
+		Beta:     1e-10,
+		Gamma:    1e-10,
+		Overhead: 2e-7,
+	}
+}
+
+// PointToPoint returns the in-flight time of a b-byte message (excluding
+// the sender/receiver Overhead, which callers account separately).
+func (c CostModel) PointToPoint(bytes int) float64 {
+	return c.Alpha + c.Beta*float64(bytes)
+}
+
+// Collective returns the completion cost of a binomial-tree
+// reduce+broadcast collective over p ranks carrying msgBytes per hop,
+// measured from the instant the last participant arrives.
+func (c CostModel) Collective(p, msgBytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	hops := 2 * math.Ceil(math.Log2(float64(p)))
+	return hops * (c.Alpha + c.Beta*float64(msgBytes) + c.Overhead)
+}
+
+// Compute returns the cost of w flops.
+func (c CostModel) Compute(flops float64) float64 {
+	return c.Gamma * flops
+}
+
+// Clock is a per-rank virtual clock. The zero value reads 0 s.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current virtual time.
+func (k *Clock) Now() float64 { return k.now }
+
+// Advance moves the clock forward by d seconds. Negative d is ignored so
+// that clocks are monotone by construction.
+func (k *Clock) Advance(d float64) {
+	if d > 0 {
+		k.now += d
+	}
+}
+
+// SyncTo moves the clock forward to t if t is later than the current time
+// (clocks never move backward; synchronisation only waits).
+func (k *Clock) SyncTo(t float64) {
+	if t > k.now {
+		k.now = t
+	}
+}

@@ -1,0 +1,120 @@
+package machine
+
+import "math"
+
+// Noise models operating-system and error-correction jitter: the
+// performance variability that Section II-B of the paper identifies as the
+// first casualty of decreasing hardware reliability. A Noise
+// implementation returns the extra virtual time (seconds) to add to a
+// compute phase whose nominal duration is d seconds.
+//
+// Implementations must be pure functions of (rng, d) so that experiments
+// stay deterministic under a fixed seed.
+type Noise interface {
+	// Draw returns extra delay (>= 0) for a compute phase of nominal
+	// duration d, using the per-rank rng.
+	Draw(rng *RNG, d float64) float64
+	// Name identifies the model in experiment tables.
+	Name() string
+}
+
+// NoNoise is the ideal machine: equal work takes equal time.
+type NoNoise struct{}
+
+// Draw always returns 0.
+func (NoNoise) Draw(*RNG, float64) float64 { return 0 }
+
+// Name implements Noise.
+func (NoNoise) Name() string { return "none" }
+
+// BernoulliSpike models infrequent, large detours — e.g. an ECC scrub,
+// page migration, or OS daemon — the canonical "noise" in the noise
+// amplification literature. With probability P per compute phase the
+// phase is extended by Magnitude times its nominal duration.
+type BernoulliSpike struct {
+	P         float64 // probability a compute phase is hit
+	Magnitude float64 // spike length as a multiple of the phase duration
+}
+
+// Draw implements Noise.
+func (n BernoulliSpike) Draw(rng *RNG, d float64) float64 {
+	if rng.Float64() < n.P {
+		return n.Magnitude * d
+	}
+	return 0
+}
+
+// Name implements Noise.
+func (n BernoulliSpike) Name() string { return "bernoulli" }
+
+// FixedSpike models OS/system-service noise the way the noise literature
+// does: interruptions of *fixed* duration (a daemon runs for 25 µs no
+// matter what it interrupted) arriving as a Poisson process in compute
+// time with the given rate. Unlike BernoulliSpike — whose cost scales
+// with the interrupted phase and therefore penalises fused kernels — this
+// model is invariant to how a solver slices its computation, which makes
+// it the right choice for comparing synchronisation structures (F3/T2).
+type FixedSpike struct {
+	Rate     float64 // arrivals per second of compute time
+	Duration float64 // seconds per interruption
+}
+
+// Draw implements Noise: the number of arrivals during a phase of
+// duration d is Poisson with mean Rate·d, so total expected noise is
+// invariant to how computation is sliced into phases.
+func (n FixedSpike) Draw(rng *RNG, d float64) float64 {
+	lam := n.Rate * d
+	if lam <= 0 {
+		return 0
+	}
+	var k int
+	switch {
+	case lam < 0.01:
+		// Cheap Bernoulli approximation, exact to O(lam²).
+		if rng.Float64() < lam {
+			k = 1
+		}
+	case lam < 30:
+		// Knuth's product method.
+		limit := math.Exp(-lam)
+		p := rng.Float64()
+		for p > limit {
+			k++
+			p *= rng.Float64()
+		}
+	default:
+		// Normal approximation for large means.
+		k = int(lam + math.Sqrt(lam)*rng.NormFloat64() + 0.5)
+		if k < 0 {
+			k = 0
+		}
+	}
+	return float64(k) * n.Duration
+}
+
+// Name implements Noise.
+func (n FixedSpike) Name() string { return "fixed-spike" }
+
+// LognormalJitter models continuous small-scale variability: every compute
+// phase is stretched by a lognormal factor with location Mu and scale
+// Sigma (of the underlying normal). Mu=0, Sigma=0 reproduces NoNoise.
+type LognormalJitter struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Draw implements Noise.
+func (n LognormalJitter) Draw(rng *RNG, d float64) float64 {
+	if n.Sigma == 0 && n.Mu == 0 {
+		return 0
+	}
+	z := rng.NormFloat64()
+	factor := math.Exp(n.Mu + n.Sigma*z)
+	if factor <= 1 {
+		return 0
+	}
+	return (factor - 1) * d
+}
+
+// Name implements Noise.
+func (n LognormalJitter) Name() string { return "lognormal" }

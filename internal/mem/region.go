@@ -1,0 +1,188 @@
+// Package mem implements Selective Reliability Programming's storage
+// model (paper §II-D): data regions with declared reliability levels.
+// A program stores "most data ... with low reliability while retaining
+// the robustness of a fully reliable approach" by placing only the
+// critical data (e.g. the outer Krylov basis in FT-GMRES) in a Reliable
+// region and the bulk (the inner solver's workspace) in an Unreliable
+// one.
+//
+// The reliability contract, not its physical mechanism, is what
+// algorithms reason about — the paper says exactly this — so the package
+// models three levels with a per-read corruption rate and a relative
+// access-cost multiplier:
+//
+//	Reliable:    never corrupts; costs CostReliable per access.
+//	Unreliable:  each Load flips a uniformly random bit of the value with
+//	             probability rate; costs 1 per access.
+//	TMR:         triple modular redundancy over unreliable storage: three
+//	             copies, bitwise majority vote on Load; corrupts only if
+//	             two copies fault identically in the same window; costs 3.
+package mem
+
+import (
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+)
+
+// Level is a declared reliability level for a Region.
+type Level int
+
+// Reliability levels.
+const (
+	Reliable Level = iota
+	Unreliable
+	TMR
+)
+
+// String returns the level name used in experiment tables.
+func (l Level) String() string {
+	switch l {
+	case Reliable:
+		return "reliable"
+	case Unreliable:
+		return "unreliable"
+	case TMR:
+		return "tmr"
+	default:
+		return "unknown"
+	}
+}
+
+// CostReliable is the access-cost multiplier of Reliable storage relative
+// to Unreliable storage. Fully reliable memory (strong ECC, redundant
+// paths) is modelled as 2x; TMR is 3x by construction. These are the
+// knobs of experiment T4; the defaults follow the paper's observation
+// that "even very expensive approaches such as TMR" can win.
+const CostReliable = 2.0
+
+// Region is a float64 array with a reliability level. It is not safe for
+// concurrent use; each simulated rank owns its regions.
+type Region struct {
+	level Level
+	rate  float64 // per-Load bit-flip probability (Unreliable, TMR copies)
+	data  []float64
+	data2 []float64 // TMR copies
+	data3 []float64
+	rng   *machine.RNG
+	stats Stats
+}
+
+// Stats counts accesses and faults for reliability-cost accounting.
+type Stats struct {
+	Loads      int
+	Stores     int
+	FaultsSeen int     // corrupted values returned to the program
+	FaultsMask int     // corruptions masked by TMR voting
+	AccessCost float64 // accumulated cost in unreliable-access units
+}
+
+// NewRegion allocates a zeroed region of n elements at the given level.
+// rate is the per-Load corruption probability of unreliable storage
+// (ignored for Reliable). The RNG must be non-nil for Unreliable/TMR.
+func NewRegion(n int, level Level, rate float64, rng *machine.RNG) *Region {
+	r := &Region{level: level, rate: rate, data: make([]float64, n), rng: rng}
+	if level == TMR {
+		r.data2 = make([]float64, n)
+		r.data3 = make([]float64, n)
+	}
+	if level != Reliable && rng == nil {
+		panic("mem: unreliable region requires an RNG")
+	}
+	return r
+}
+
+// Len returns the number of elements.
+func (r *Region) Len() int { return len(r.data) }
+
+// Level returns the region's reliability level.
+func (r *Region) Level() Level { return r.level }
+
+// Stats returns a copy of the access counters.
+func (r *Region) Stats() Stats { return r.stats }
+
+// Store writes x to element i.
+func (r *Region) Store(i int, x float64) {
+	r.stats.Stores++
+	switch r.level {
+	case Reliable:
+		r.stats.AccessCost += CostReliable
+		r.data[i] = x
+	case Unreliable:
+		r.stats.AccessCost++
+		r.data[i] = x
+	case TMR:
+		r.stats.AccessCost += 3
+		r.data[i] = x
+		r.data2[i] = x
+		r.data3[i] = x
+	}
+}
+
+// Load reads element i, subject to the region's reliability contract.
+func (r *Region) Load(i int) float64 {
+	r.stats.Loads++
+	switch r.level {
+	case Reliable:
+		r.stats.AccessCost += CostReliable
+		return r.data[i]
+	case Unreliable:
+		r.stats.AccessCost++
+		x := r.data[i]
+		if r.rng.Float64() < r.rate {
+			x = fault.FlipBit(x, fault.AnyBit.PickBit(r.rng))
+			r.data[i] = x // the corruption is in storage, not transient
+			r.stats.FaultsSeen++
+		}
+		return x
+	case TMR:
+		r.stats.AccessCost += 3
+		a, b, c := r.data[i], r.data2[i], r.data3[i]
+		// Each copy independently exposed to the fault process.
+		a = r.maybeFlip(a)
+		b = r.maybeFlip(b)
+		c = r.maybeFlip(c)
+		v := vote(a, b, c)
+		if a != b || b != c {
+			r.stats.FaultsMask++
+			// Scrub: voting repairs the storage.
+			r.data[i], r.data2[i], r.data3[i] = v, v, v
+		}
+		return v
+	}
+	panic("mem: unknown level")
+}
+
+func (r *Region) maybeFlip(x float64) float64 {
+	if r.rng.Float64() < r.rate {
+		return fault.FlipBit(x, fault.AnyBit.PickBit(r.rng))
+	}
+	return x
+}
+
+// vote returns the bitwise majority of three words — the TMR voter.
+// With at most one corrupted copy the result equals the uncorrupted
+// value; this holds bit-by-bit, hence for the whole word.
+func vote(a, b, c float64) float64 {
+	ab, bb, cb := math.Float64bits(a), math.Float64bits(b), math.Float64bits(c)
+	return math.Float64frombits((ab & bb) | (ab & cb) | (bb & cb))
+}
+
+// CopyIn bulk-stores src starting at element 0.
+func (r *Region) CopyIn(src []float64) {
+	for i, x := range src {
+		r.Store(i, x)
+	}
+}
+
+// CopyOut bulk-loads the region into dst (length = min of the two).
+func (r *Region) CopyOut(dst []float64) {
+	n := len(dst)
+	if r.Len() < n {
+		n = r.Len()
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.Load(i)
+	}
+}

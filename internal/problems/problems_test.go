@@ -1,0 +1,140 @@
+package problems
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/la"
+)
+
+func TestPoisson1DStructure(t *testing.T) {
+	a := Poisson1D(5)
+	if a.NNZ() != 13 { // 5 diag + 2*4 off
+		t.Errorf("nnz = %d", a.NNZ())
+	}
+	for i := 0; i < 5; i++ {
+		if a.At(i, i) != 2 {
+			t.Errorf("diag %d = %g", i, a.At(i, i))
+		}
+	}
+	if a.At(0, 1) != -1 || a.At(1, 0) != -1 {
+		t.Error("off-diagonals wrong")
+	}
+}
+
+func TestPoisson2DRowSums(t *testing.T) {
+	// Interior rows sum to 0; boundary rows are positive (Dirichlet).
+	a := Poisson2D(5, 5)
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			s += a.Val[p]
+		}
+		if s < 0 {
+			t.Fatalf("row %d sum %g < 0", i, s)
+		}
+	}
+	// The exact centre of the 5x5 grid is interior: sum 0.
+	centre := 2*5 + 2
+	s := 0.0
+	for p := a.RowPtr[centre]; p < a.RowPtr[centre+1]; p++ {
+		s += a.Val[p]
+	}
+	if s != 0 {
+		t.Errorf("interior row sum %g", s)
+	}
+}
+
+func TestPoisson2DSymmetric(t *testing.T) {
+	a := Poisson2D(6, 4)
+	d := a.ToDense()
+	if !d.Equal(d.Transpose(), 0) {
+		t.Error("Poisson2D not symmetric")
+	}
+}
+
+func TestPoisson3DDimensions(t *testing.T) {
+	a := Poisson3D(3, 4, 5)
+	if a.Rows != 60 || a.Cols != 60 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+	if a.At(0, 0) != 6 {
+		t.Errorf("diag %g", a.At(0, 0))
+	}
+}
+
+func TestConvDiffNonsymmetric(t *testing.T) {
+	a := ConvDiff2D(6, 6, 10, 5)
+	d := a.ToDense()
+	if d.Equal(d.Transpose(), 1e-12) {
+		t.Error("convection–diffusion should be nonsymmetric")
+	}
+	// Row-diagonal dominance (upwinding guarantees it): |diag| >= off sum.
+	for i := 0; i < a.Rows; i++ {
+		off := 0.0
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.ColIdx[p] != i {
+				off += math.Abs(a.Val[p])
+			}
+		}
+		if a.At(i, i) < off-1e-12 {
+			t.Fatalf("row %d not diagonally dominant: %g vs %g", i, a.At(i, i), off)
+		}
+	}
+}
+
+func TestManufacturedRHSConsistency(t *testing.T) {
+	a := Poisson2D(8, 8)
+	b, xstar := ManufacturedRHS(a)
+	r := la.Sub(b, a.MatVec(xstar, nil))
+	if la.Nrm2(r) > 1e-12 {
+		t.Error("b != A·x*")
+	}
+}
+
+func TestHeatGridEnergyDecays(t *testing.T) {
+	g := NewHeatGrid(20, 20, 0.25)
+	prev := g.Energy()
+	if prev <= 0 {
+		t.Fatal("initial energy must be positive")
+	}
+	for s := 0; s < 50; s++ {
+		g.Step()
+		e := g.Energy()
+		if e > prev+1e-15 {
+			t.Fatalf("energy grew at step %d: %g -> %g", s, prev, e)
+		}
+		prev = e
+	}
+}
+
+func TestHeatGridStableRange(t *testing.T) {
+	g := NewHeatGrid(15, 15, 0.25)
+	g.Run(200)
+	for _, v := range g.U {
+		if v < -1e-12 || v > 1 {
+			t.Fatalf("value %g outside [0,1]", v)
+		}
+	}
+}
+
+func TestHeatGridUnstableNuGrows(t *testing.T) {
+	// Above the CFL limit the scheme must blow up — a sanity check that
+	// Nu really is the stability knob (and a negative control for the
+	// conservation skeptical check).
+	g := NewHeatGrid(15, 15, 0.6)
+	e0 := g.Energy()
+	g.Run(200)
+	if g.Energy() <= e0 {
+		t.Error("expected instability at nu=0.6")
+	}
+}
+
+func TestOnesRHS(t *testing.T) {
+	b := OnesRHS(4)
+	for _, v := range b {
+		if v != 1 {
+			t.Fatal("not ones")
+		}
+	}
+}

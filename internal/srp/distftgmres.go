@@ -1,0 +1,108 @@
+package srp
+
+import (
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/krylov"
+	"repro/internal/la"
+)
+
+// FaultyDistOp wraps a distributed operator so each rank's local Apply
+// result passes through its own fault injector — sustained silent
+// corruption on a distributed machine. Each rank must own a distinct
+// injector (seed it from the rank id) so fault patterns are independent
+// across ranks yet reproducible.
+type FaultyDistOp struct {
+	Inner    dist.Operator
+	Injector *fault.VectorInjector
+}
+
+// Apply implements dist.Operator.
+func (f *FaultyDistOp) Apply(x, y []float64) error {
+	if err := f.Inner.Apply(x, y); err != nil {
+		return err
+	}
+	f.Injector.Pass(y)
+	return nil
+}
+
+// LocalLen implements dist.Operator.
+func (f *FaultyDistOp) LocalLen() int { return f.Inner.LocalLen() }
+
+// GlobalLen implements dist.Operator.
+func (f *FaultyDistOp) GlobalLen() int { return f.Inner.GlobalLen() }
+
+// NormInf implements dist.Operator (the intended operator's bound).
+func (f *FaultyDistOp) NormInf() float64 { return f.Inner.NormInf() }
+
+// DistInner is the unreliable distributed inner solver used as the
+// DistFGMRES preconditioner: a fixed-budget distributed GMRES on the
+// faulty operator, with reliable sanitisation of the result (the
+// distributed form of InnerSolver).
+type DistInner struct {
+	Faulty  dist.Operator
+	Iters   int
+	Restart int
+
+	Solves   int
+	Discards int
+}
+
+// Solve implements krylov.DistPrecon.
+func (s *DistInner) Solve(c *comm.Comm, r []float64) ([]float64, error) {
+	s.Solves++
+	restart := s.Restart
+	if restart <= 0 {
+		restart = s.Iters
+	}
+	z, _, err := krylov.DistGMRES(c, s.Faulty, r, nil, krylov.DistGMRESOptions{
+		Restart: restart, MaxIter: s.Iters, Tol: 1e-13,
+	})
+	if err != nil {
+		return nil, err // communication errors are not sanitisable
+	}
+	// Local sanitisation must reach a *global* consensus: if any rank's
+	// piece is garbage, every rank must discard, or the preconditioner
+	// application would be inconsistent across ranks.
+	bad := 0.0
+	if la.HasNonFinite(z) {
+		bad = 1
+	}
+	zn := la.Dot(z, z)
+	rn := la.Dot(r, r)
+	c.Compute(la.FlopsDot(len(z)) * 2)
+	agg, err := c.Allreduce([]float64{bad, zn, rn}, comm.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	if agg[0] > 0 || (agg[2] > 0 && (agg[1] == 0 || agg[1] > 1e16*agg[2])) {
+		s.Discards++
+		return la.Copy(r), nil
+	}
+	return z, nil
+}
+
+// DistFTGMRESResult reports a distributed FT-GMRES solve.
+type DistFTGMRESResult struct {
+	X             []float64 // local piece
+	Stats         krylov.Stats
+	InnerSolves   int
+	InnerDiscards int
+}
+
+// DistFTGMRES is FT-GMRES at scale: a reliable distributed FGMRES outer
+// iteration whose preconditioner is a fault-injected distributed GMRES —
+// the paper's §III-D architecture on the simulated parallel machine.
+// trusted is the clean operator; faulty is the same operator wrapped with
+// per-rank injectors (see FaultyDistOp).
+func DistFTGMRES(c *comm.Comm, trusted, faulty dist.Operator, b []float64, opts Options) (DistFTGMRESResult, error) {
+	opts.defaults()
+	inner := &DistInner{Faulty: faulty, Iters: opts.InnerIters, Restart: opts.InnerIters}
+	x, st, err := krylov.DistFGMRES(c, trusted, inner, b, nil, krylov.DistGMRESOptions{
+		Restart: opts.OuterRestart,
+		Tol:     opts.Tol,
+		MaxIter: opts.MaxOuter,
+	})
+	return DistFTGMRESResult{X: x, Stats: st, InnerSolves: inner.Solves, InnerDiscards: inner.Discards}, err
+}

@@ -1,0 +1,193 @@
+// Package srp implements Selective Reliability Programming (paper §II-D)
+// and its flagship algorithm, FT-GMRES (§III-D, after the paper's
+// reference [13], Bridges, Ferreira, Heroux & Hoemmen): an outer-inner
+// solver where the outer flexible-GMRES iteration runs on reliable
+// storage and compute, while the inner GMRES "preconditioner" does the
+// bulk of the work unreliably. The outer iteration treats whatever the
+// inner solve returns as just another preconditioner application —
+// analysed, then used or discarded — so inner faults cost extra
+// iterations, never correctness.
+package srp
+
+import (
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/krylov"
+	"repro/internal/la"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// InnerSolver is the unreliable inner solve used as the FGMRES
+// preconditioner. Each Solve runs a fresh GMRES on the faulty operator;
+// the result is sanitised before it is handed to the reliable outer
+// iteration (the "analyse and use or discard" step of §III-D).
+type InnerSolver struct {
+	Faulty  krylov.Op // operator with sustained fault injection
+	Iters   int       // inner iteration budget per outer step
+	Restart int
+
+	// Discards counts inner results rejected by sanitisation.
+	Discards int
+	// Solves counts inner invocations.
+	Solves int
+}
+
+// Solve implements krylov.Preconditioner.
+func (s *InnerSolver) Solve(r []float64) []float64 {
+	s.Solves++
+	restart := s.Restart
+	if restart <= 0 {
+		restart = s.Iters
+	}
+	z, _, err := krylov.GMRES(s.Faulty, r, nil, krylov.GMRESOptions{
+		Restart: restart,
+		MaxIter: s.Iters,
+		Tol:     1e-13, // run the full budget; outer handles accuracy
+	})
+	// Reliable sanitisation: a corrupt inner result must not poison the
+	// outer Krylov space. Non-finite or absurdly large results are
+	// discarded in favour of the identity application (z = r), which
+	// keeps the outer iteration valid — merely unpreconditioned for one
+	// step.
+	if err != nil || la.HasNonFinite(z) {
+		s.Discards++
+		return la.Copy(r)
+	}
+	zn, rn := la.Nrm2(z), la.Nrm2(r)
+	if rn > 0 && (zn == 0 || zn > 1e8*rn) {
+		s.Discards++
+		return la.Copy(r)
+	}
+	return z
+}
+
+// Result carries the FT-GMRES outcome and reliability accounting.
+type Result struct {
+	X     []float64
+	Stats krylov.Stats
+	// InnerSolves and InnerDiscards describe the unreliable phase.
+	InnerSolves   int
+	InnerDiscards int
+	// FaultsInjected is the number of bit flips delivered to the inner
+	// operator during the solve.
+	FaultsInjected int
+}
+
+// Options configures FTGMRES.
+type Options struct {
+	OuterRestart int     // outer FGMRES restart length (default 30)
+	InnerIters   int     // inner GMRES iterations per outer step (default 20)
+	Tol          float64 // outer relative residual target (default 1e-8)
+	MaxOuter     int     // outer iteration cap (default 60)
+}
+
+func (o *Options) defaults() {
+	if o.OuterRestart <= 0 {
+		o.OuterRestart = 30
+	}
+	if o.InnerIters <= 0 {
+		o.InnerIters = 20
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxOuter <= 0 {
+		o.MaxOuter = 60
+	}
+}
+
+// FTGMRES solves A·x = b with the fault-tolerant outer/inner scheme:
+// trusted is the reliable operator (used by the outer iteration),
+// injector corrupts the inner operator's SpMV outputs at its configured
+// rate. Most flops happen inside the inner solves, i.e. unreliably —
+// exactly the paper's "most computation and data are in low-reliability
+// mode".
+func FTGMRES(trusted krylov.Op, injector *fault.VectorInjector, b []float64, opts Options) (Result, error) {
+	opts.defaults()
+	inner := &InnerSolver{
+		Faulty:  krylov.NewFaultyOp(trusted, injector),
+		Iters:   opts.InnerIters,
+		Restart: opts.InnerIters,
+	}
+	x, st, err := krylov.GMRES(trusted, b, nil, krylov.GMRESOptions{
+		Restart: opts.OuterRestart,
+		Tol:     opts.Tol,
+		MaxIter: opts.MaxOuter,
+		Precon:  inner,
+	})
+	return Result{
+		X:              x,
+		Stats:          st,
+		InnerSolves:    inner.Solves,
+		InnerDiscards:  inner.Discards,
+		FaultsInjected: len(injector.Events()),
+	}, err
+}
+
+// UnreliableGMRES is the no-SRP baseline: plain GMRES run entirely on the
+// faulty operator, the configuration the paper predicts will stagnate or
+// silently err as fault rates rise.
+func UnreliableGMRES(trusted krylov.Op, injector *fault.VectorInjector, b []float64, restart, maxIter int, tol float64) (krylov.Stats, []float64) {
+	x, st, _ := krylov.GMRES(krylov.NewFaultyOp(trusted, injector), b, nil, krylov.GMRESOptions{
+		Restart: restart,
+		MaxIter: maxIter,
+		Tol:     tol,
+	})
+	return st, x
+}
+
+// RegionDot is a dot product evaluated through mem.Region loads, so SRP
+// programs can express "this reduction reads unreliable memory". It is
+// used by the reliability microbenchmarks.
+func RegionDot(a, b *mem.Region) float64 {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += a.Load(i) * b.Load(i)
+	}
+	return s
+}
+
+// VerifiedRun models the "fully unreliable + detect & restart" execution
+// strategy of experiment T4: run W operations on storage that faults at
+// rate per op, detect at the end (assumed perfect detection), restart on
+// any fault. Returns the simulated time in units of one unreliable op.
+func VerifiedRun(work float64, faultRate float64, rng *machine.RNG, maxRestarts int) (time float64, restarts int) {
+	for {
+		// P(run is clean) = (1-rate)^work ≈ e^{-rate·work}.
+		pClean := math.Exp(-faultRate * work)
+		time += work
+		if rng.Float64() < pClean || restarts >= maxRestarts {
+			return time, restarts
+		}
+		restarts++
+	}
+}
+
+// ExpectedTimes returns the analytic expected completion times (in
+// unreliable-op units) for the four execution strategies of experiment
+// T4 on a job of work ops with per-op fault rate λ:
+//
+//	unreliable+restart: (e^{λW} − 1)/λ·W⁻¹·W = (e^{λW} − 1)/λ  [Daly-style]
+//	all-reliable:       CostReliable·W  (never faults)
+//	all-TMR:            3W              (single faults masked)
+//	SRP mix:            CostReliable·f·W + (1−f)·W·(1 + overhead·λ·W)
+//
+// where the SRP overhead term models the extra (outer) iterations the
+// algorithm spends absorbing inner faults, per the FT-GMRES measurements.
+func ExpectedTimes(work, lambda, fracReliable, srpOverhead float64) (unrel, reliable, tmr, srp float64) {
+	if lambda > 0 {
+		unrel = (math.Exp(lambda*work) - 1) / lambda
+	} else {
+		unrel = work
+	}
+	reliable = mem.CostReliable * work
+	tmr = 3 * work
+	srp = mem.CostReliable*fracReliable*work + (1-fracReliable)*work*(1+srpOverhead*lambda*work)
+	return unrel, reliable, tmr, srp
+}
