@@ -1,22 +1,19 @@
 // Package repro's root benchmark suite: one testing.B benchmark per
-// experiment in DESIGN.md's index (F1–F8, T1–T4), plus kernel
-// micro-benchmarks. Each experiment benchmark regenerates its table —
-// `go test -bench=.` therefore re-runs the full evaluation; the rendered
-// tables themselves come from cmd/resilient-bench (see EXPERIMENTS.md).
+// experiment in DESIGN.md's index (F1–F10, T1–T4, A1–A2), plus the
+// kernel micro-benchmarks. The kernels come from the same registry
+// cmd/benchdiff measures (bench.Kernels), so `go test -bench` and the
+// perf harness always agree on what they time; the experiment
+// benchmarks attach virtual-time and communication metrics from the
+// comm.Ledger so the simulated cost model is visible next to the
+// wall-clock. The rendered experiment tables themselves come from
+// cmd/resilient-bench (see EXPERIMENTS.md).
 package repro
 
 import (
-	"strconv"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/comm"
-	"repro/internal/fault"
-	"repro/internal/krylov"
-	"repro/internal/la"
-	"repro/internal/machine"
-	"repro/internal/problems"
-	"repro/internal/skp"
 )
 
 func runExperiment(b *testing.B, id string) {
@@ -24,15 +21,25 @@ func runExperiment(b *testing.B, id string) {
 	if testing.Short() && bench.Registry()[id].Slow {
 		b.Skipf("%s is a scaling sweep; skipped in -short mode", id)
 	}
+	var snap comm.LedgerSnapshot
 	for i := 0; i < b.N; i++ {
-		table, err := bench.Run(id, 1)
+		led := &comm.Ledger{}
+		table, err := bench.RunMetered(id, bench.RunCtx{Seed: 1, Ledger: led})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(table.Rows) == 0 {
 			b.Fatalf("%s produced no rows", id)
 		}
+		snap = led.Snapshot()
 	}
+	// The harness (cmd/benchdiff) records the same metrics into
+	// BENCH_*.json; reporting them here keeps `go test -bench` and the
+	// perf gate telling one story. All are deterministic per seed.
+	b.ReportMetric(snap.MaxClock, "vsec/op")
+	b.ReportMetric(float64(snap.Stats.Collective), "colls/op")
+	b.ReportMetric(float64(snap.Stats.Sends+snap.Stats.Recvs), "msgs/op")
+	b.ReportMetric(snap.Stats.Flops, "flops/op")
 }
 
 // --- One benchmark per table/figure (DESIGN.md §3) ---
@@ -55,97 +62,20 @@ func BenchmarkA1ReductionAblation(b *testing.B)  { runExperiment(b, "A1") }
 func BenchmarkA2SyncSpectrum(b *testing.B)       { runExperiment(b, "A2") }
 
 // --- Kernel micro-benchmarks (real wall-clock, -benchmem) ---
-
-func BenchmarkSpMVPoisson2D(b *testing.B) {
-	a := problems.Poisson2D(256, 256)
-	x := make([]float64, a.Cols)
-	for i := range x {
-		x[i] = float64(i % 17)
-	}
-	y := make([]float64, a.Rows)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a.MatVec(x, y)
-	}
-}
-
-func BenchmarkSkepticalCheckSuite(b *testing.B) {
-	a := problems.ConvDiff2D(64, 64, 20, 10)
-	op := krylov.NewCSROp(a)
-	cs := a.ColSums()
-	x := make([]float64, op.Size())
-	for i := range x {
-		x[i] = 1 + float64(i%5)
-	}
-	y := op.Apply(x)
-	checks := []skp.Check{skp.NonFinite{}, skp.NormBound{ANormInf: op.NormInf()}, skp.Checksum{ColSums: cs}}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for _, c := range checks {
-			if err := c.Validate(x, y); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-}
-
-func BenchmarkGMRESSerial(b *testing.B) {
-	a := problems.ConvDiff2D(32, 32, 20, 10)
-	op := krylov.NewCSROp(a)
-	rhs, _ := problems.ManufacturedRHS(a)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, st, err := krylov.GMRES(op, rhs, nil, krylov.GMRESOptions{Restart: 60, Tol: 1e-8, MaxIter: 300})
-		if err != nil || !st.Converged {
-			b.Fatalf("err=%v converged=%v", err, st.Converged)
-		}
-	}
-}
-
-func BenchmarkBitFlipInjection(b *testing.B) {
-	inj := fault.NewVectorInjector(1).WithRate(1e-3)
-	v := make([]float64, 4096)
-	for i := range v {
-		v[i] = float64(i)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		inj.Pass(v)
-	}
-}
-
-func BenchmarkAllreduceRendezvous(b *testing.B) {
-	// Real-time cost of the simulated collective across goroutines, per
-	// world size: the simulator's own scalability.
-	for _, p := range []int{4, 16, 64} {
-		b.Run("P="+strconv.Itoa(p), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				err := comm.Run(comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: 1},
-					func(c *comm.Comm) error {
-						for k := 0; k < 10; k++ {
-							if _, err := c.AllreduceScalar(1, comm.OpSum); err != nil {
-								return err
-							}
-						}
-						return nil
-					})
-				if err != nil {
-					b.Fatal(err)
-				}
-			}
+//
+// One sub-benchmark per entry of bench.Kernels(). The zero-allocation
+// acceptance gates live here: kernel/dist-csr-apply-p4 (the halo
+// exchange), kernel/gmres-serial-iter (one warmed-up GMRES iteration)
+// and kernel/comm-allreduce-p8 must report 0 allocs/op.
+func BenchmarkKernels(b *testing.B) {
+	for _, k := range bench.Kernels() {
+		b.Run(k.Name, func(b *testing.B) {
+			body, cleanup := k.Setup()
+			defer cleanup()
+			body(1) // warm up pools and workspaces outside the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			body(b.N)
 		})
-	}
-}
-
-func BenchmarkDotProduct(b *testing.B) {
-	x := make([]float64, 1<<16)
-	y := make([]float64, 1<<16)
-	for i := range x {
-		x[i] = float64(i)
-		y[i] = float64(len(x) - i)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = la.Dot(x, y)
 	}
 }

@@ -1,0 +1,138 @@
+// Command benchdiff is the perf harness and regression gate of this
+// reproduction. It has two modes:
+//
+//	benchdiff run -label nightly -out BENCH_nightly.json
+//	    runs every registered experiment (concurrently, one isolated
+//	    simulated world set per experiment) plus the kernel
+//	    micro-benchmarks, and writes a canonical BENCH_<label>.json with
+//	    wall-clock, allocs/op, virtual-time and comm/flop metrics.
+//
+//	benchdiff compare BENCH_baseline.json BENCH_new.json
+//	    exits non-zero if the new report regresses the baseline beyond
+//	    the per-metric thresholds: kernel ns/op (+25% default), kernel
+//	    allocs/op (any growth), experiment virtual time (+10% default,
+//	    fully deterministic).
+//
+// Quick mode (-quick) trims the scaling sweeps to their smallest scales
+// and shortens kernel timing; CI runs it on every push against the
+// committed BENCH_baseline.json. Refresh the baseline with:
+//
+//	go run ./cmd/benchdiff run -quick -label baseline -out BENCH_baseline.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:])
+	case "compare":
+		compareCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  benchdiff run [-label L] [-out FILE] [-quick] [-repeat N] [-workers N]
+                [-benchtime D] [-seed S] [-exp F1,F2] [-kernels-only] [-exps-only] [-q]
+  benchdiff compare [-ns F] [-allocs F] [-vt F] BASELINE.json CURRENT.json`)
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	label := fs.String("label", "dev", "report label")
+	out := fs.String("out", "", "output path (default BENCH_<label>.json)")
+	quick := fs.Bool("quick", false, "smallest experiment scales, short kernel timing")
+	repeat := fs.Int("repeat", 0, "experiment repetitions (default 3, quick 1)")
+	workers := fs.Int("workers", 0, "experiment worker pool size (default GOMAXPROCS)")
+	benchtime := fs.Duration("benchtime", 0, "per-kernel time target (default 1s, quick 100ms)")
+	seed := fs.Uint64("seed", 1, "experiment master seed")
+	exps := fs.String("exp", "", "comma-separated experiment IDs (default all)")
+	kernelsOnly := fs.Bool("kernels-only", false, "skip experiments")
+	expsOnly := fs.Bool("exps-only", false, "skip kernel micro-benchmarks")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	fs.Parse(args)
+
+	opts := bench.HarnessOptions{
+		Label:       *label,
+		Seed:        *seed,
+		Quick:       *quick,
+		Repeat:      *repeat,
+		Workers:     *workers,
+		BenchTime:   *benchtime,
+		SkipKernels: *expsOnly,
+		SkipExps:    *kernelsOnly,
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	if *exps != "" {
+		for _, id := range strings.Split(*exps, ",") {
+			opts.Experiments = append(opts.Experiments, strings.TrimSpace(id))
+		}
+	}
+
+	start := time.Now()
+	rep, err := bench.RunHarness(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *label + ".json"
+	}
+	if err := bench.WriteReport(rep, path); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d results in %.1fs (quick=%v, go=%s)\n",
+		path, len(rep.Results), time.Since(start).Seconds(), rep.Quick, rep.GoVersion)
+}
+
+func compareCmd(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	def := bench.DefaultThresholds()
+	ns := fs.Float64("ns", def.NsPerOp, "allowed relative kernel ns/op growth (<0 disables)")
+	allocs := fs.Float64("allocs", def.AllocsPerOp, "allowed absolute kernel allocs/op growth (<0 disables)")
+	vt := fs.Float64("vt", def.VirtualTime, "allowed relative experiment virtual-time growth (<0 disables)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+		os.Exit(2)
+	}
+	base, err := bench.ReadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	cur, err := bench.ReadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	regs, err := bench.Compare(base, cur, bench.Thresholds{NsPerOp: *ns, AllocsPerOp: *allocs, VirtualTime: *vt})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	bench.RenderComparison(os.Stdout, base, cur, regs)
+	if len(regs) > 0 {
+		os.Exit(1)
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/krylov"
-	"repro/internal/machine"
 )
 
 // A1 — the reduction-strategy ablation: MGS GMRES (j+1 blocking
@@ -15,7 +14,7 @@ import (
 // p1-GMRES (one *non-blocking overlapped* reduction). Comparing the
 // three decomposes p1's gain into "merge the reductions" and "overlap
 // the merged reduction", the design choice DESIGN.md calls out.
-func A1(seed uint64) *Table {
+func A1(rc RunCtx) *Table {
 	t := &Table{
 		ID:      "A1",
 		Title:   "Ablation: where does pipelined GMRES's speedup come from?",
@@ -23,10 +22,14 @@ func A1(seed uint64) *Table {
 		Columns: []string{"P", "MGS (j+1 blocking)", "CGS-1 (1 blocking)", "p1 (1 overlapped)", "merge gain", "overlap gain"},
 	}
 	const nLocal, iters = 256, 15
-	for _, p := range []int{64, 256, 1024, 4096} {
-		mgs := timePerIter(p, nLocal, iters, gmresPair, false, nil, seed)
-		p1 := timePerIter(p, nLocal, iters, gmresPair, true, nil, seed)
-		cgs := cgsTimePerIter(p, nLocal, iters, seed)
+	ps := []int{64, 256, 1024, 4096}
+	if rc.Quick {
+		ps = ps[:1]
+	}
+	for _, p := range ps {
+		mgs := timePerIter(rc, p, nLocal, iters, gmresPair, false, nil)
+		p1 := timePerIter(rc, p, nLocal, iters, gmresPair, true, nil)
+		cgs := cgsTimePerIter(rc, p, nLocal, iters)
 		t.AddRow(fmt.Sprint(p), f(mgs), f(cgs), f(p1), speedup(mgs, cgs), speedup(cgs, p1))
 	}
 	t.Notes = append(t.Notes,
@@ -37,8 +40,8 @@ func A1(seed uint64) *Table {
 	return t
 }
 
-func cgsTimePerIter(p, nLocal, iters int, seed uint64) float64 {
-	cfg := comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: seed}
+func cgsTimePerIter(rc RunCtx, p, nLocal, iters int) float64 {
+	cfg := rc.cfg(p, nil)
 	var out float64
 	err := comm.Run(cfg, func(c *comm.Comm) error {
 		op := dist.NewStencil3(c, nLocal*p, -1, 2.5, -1)
@@ -71,7 +74,7 @@ func cgsTimePerIter(p, nLocal, iters int, seed uint64) float64 {
 // more iterations (it cannot adapt like CG), so this is a genuine
 // trade-off, not a free win — which is why it is an ablation and not a
 // headline figure.
-func A2(seed uint64) *Table {
+func A2(rc RunCtx) *Table {
 	t := &Table{
 		ID:      "A2",
 		Title:   "Ablation: time-to-solution vs synchronisation frequency (SPD solve)",
@@ -80,14 +83,18 @@ func A2(seed uint64) *Table {
 	}
 	const nLocal = 256
 	const tol = 1e-8
-	for _, p := range []int{64, 1024} {
+	ps := []int{64, 1024}
+	if rc.Quick {
+		ps = ps[:1]
+	}
+	for _, p := range ps {
 		n := nLocal * p
 		// Eigenvalue bounds of the (-1, 2.5, -1) chain: 2.5 ± 2cos(π/(n+1)).
 		lmin := 2.5 - 2*math.Cos(math.Pi/float64(n+1))
 		lmax := 2.5 + 2*math.Cos(math.Pi/float64(n+1))
 		for _, variant := range []string{"CG", "pipelined CG", "Chebyshev"} {
 			var st krylov.Stats
-			err := comm.Run(comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: seed}, func(c *comm.Comm) error {
+			err := comm.Run(rc.cfg(p, nil), func(c *comm.Comm) error {
 				op := dist.NewStencil3(c, n, -1, 2.5, -1)
 				b := make([]float64, op.LocalLen())
 				for i := range b {

@@ -44,7 +44,7 @@ func TestFastExperimentsProduceTables(t *testing.T) {
 // exponent class the skeptical variant needs no more iterations than the
 // unchecked one, with high detection.
 func TestF1SkepticalBeatsUnchecked(t *testing.T) {
-	table := F1(1)
+	table := F1(RunCtx{Seed: 1})
 	var uncheckedIters, skepticalIters float64
 	var detected string
 	for _, row := range table.Rows {
@@ -73,7 +73,7 @@ func TestF1SkepticalBeatsUnchecked(t *testing.T) {
 // TestF6FTGMRESShape asserts FT-GMRES converges at every swept rate while
 // plain GMRES fails at the highest.
 func TestF6FTGMRESShape(t *testing.T) {
-	table := F6(1)
+	table := F6(RunCtx{Seed: 1})
 	var ftAll = true
 	var plainHighest string
 	for _, row := range table.Rows {
@@ -94,7 +94,7 @@ func TestF6FTGMRESShape(t *testing.T) {
 
 // TestF5LFLRWins asserts LFLR efficiency dominates CPR at every scale.
 func TestF5LFLRWins(t *testing.T) {
-	table := F5(1)
+	table := F5(RunCtx{Seed: 1})
 	for _, row := range table.Rows {
 		cprEff := strings.TrimSuffix(row[2], "%")
 		lflrEff := strings.TrimSuffix(row[3], "%")
@@ -122,7 +122,7 @@ func TestRegistryAndRender(t *testing.T) {
 	if _, err := Run("nope", 1); err == nil {
 		t.Error("unknown ID should error")
 	}
-	table := T4(1)
+	table := T4(RunCtx{Seed: 1})
 	var buf bytes.Buffer
 	table.Render(&buf)
 	out := buf.String()

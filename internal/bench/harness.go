@@ -1,0 +1,292 @@
+package bench
+
+// This file is the benchmark harness behind cmd/benchdiff: it runs every
+// registered experiment and every kernel micro-benchmark, collects
+// wall-clock, allocation, virtual-time and communication metrics into a
+// canonical BENCH_*.json report. compare.go gates two such reports under
+// per-metric regression thresholds — the machinery that turns the
+// paper's "overhead must be small" argument into a CI check.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout.
+const SchemaVersion = "repro-bench/v1"
+
+// HarnessOptions configures one harness run.
+type HarnessOptions struct {
+	Label  string // report label; also names the output file
+	Seed   uint64 // experiment master seed (default 1)
+	Quick  bool   // trim scaling sweeps and shorten kernel timing
+	Repeat int    // experiment repetitions; min wall-clock is kept (default 3, quick 1)
+	// Workers sizes the experiment worker pool. Each experiment owns its
+	// isolated comm.World(s), so independent experiments run concurrently;
+	// default is GOMAXPROCS.
+	Workers int
+	// BenchTime is the per-kernel measurement target (default 1s, quick
+	// 100ms). Kernels run sequentially after the experiments so wall-clock
+	// numbers are not perturbed by pool concurrency.
+	BenchTime   time.Duration
+	Experiments []string  // subset of experiment IDs; nil = all
+	KernelNames []string  // subset of kernel names; nil = all
+	SkipKernels bool      // experiments only
+	SkipExps    bool      // kernels only
+	Progress    io.Writer // optional per-item progress log
+}
+
+func (o *HarnessOptions) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Repeat <= 0 {
+		if o.Quick {
+			o.Repeat = 1
+		} else {
+			o.Repeat = 3
+		}
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.BenchTime <= 0 {
+		if o.Quick {
+			o.BenchTime = 100 * time.Millisecond
+		} else {
+			o.BenchTime = time.Second
+		}
+	}
+	if o.Label == "" {
+		o.Label = "dev"
+	}
+}
+
+// Result is one measured entry of a report.
+type Result struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "experiment" or "kernel"
+
+	NsPerOp     float64 `json:"ns_per_op"`
+	Iters       int     `json:"iters"`                   // ops measured (kernels) or repetitions (experiments)
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"` // kernels only
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`  // kernels only
+
+	// Experiment-only fields, from the table and the comm.Ledger.
+	Rows        int     `json:"rows,omitempty"`
+	Worlds      int     `json:"worlds,omitempty"`
+	VirtualTime float64 `json:"virtual_time,omitempty"` // peak rank clock (s, deterministic)
+	RankSeconds float64 `json:"rank_seconds,omitempty"` // total simulated rank-time (s)
+	Sends       int     `json:"sends,omitempty"`
+	Recvs       int     `json:"recvs,omitempty"`
+	Collectives int     `json:"collectives,omitempty"`
+	Flops       float64 `json:"flops,omitempty"`
+}
+
+// Report is the canonical content of a BENCH_*.json file.
+type Report struct {
+	Schema    string   `json:"schema"`
+	Label     string   `json:"label"`
+	GoVersion string   `json:"go_version"`
+	Quick     bool     `json:"quick"`
+	Repeat    int      `json:"repeat"`
+	Seed      uint64   `json:"seed"`
+	Results   []Result `json:"results"`
+}
+
+// Lookup returns the named result.
+func (r *Report) Lookup(name string) (Result, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// RunHarness executes the configured experiment suite (concurrently, one
+// worker per experiment — every experiment owns isolated worlds) and the
+// kernel micro-benchmarks (sequentially, for quiet wall-clock), and
+// returns the assembled report.
+func RunHarness(opts HarnessOptions) (*Report, error) {
+	opts.defaults()
+	rep := &Report{
+		Schema:    SchemaVersion,
+		Label:     opts.Label,
+		GoVersion: runtime.Version(),
+		Quick:     opts.Quick,
+		Repeat:    opts.Repeat,
+		Seed:      opts.Seed,
+	}
+	progress := func(format string, args ...any) {
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, format+"\n", args...)
+		}
+	}
+
+	if !opts.SkipExps {
+		ids := opts.Experiments
+		if ids == nil {
+			ids = IDs()
+		}
+		results := make([]Result, len(ids))
+		errs := make([]error, len(ids))
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i], errs[i] = runExperimentMetered(ids[i], opts)
+					progress("experiment %-4s %12.0f ns/op  vt=%.3gs", ids[i], results[i].NsPerOp, results[i].VirtualTime)
+				}
+			}()
+		}
+		for i := range ids {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", ids[i], err)
+			}
+		}
+		rep.Results = append(rep.Results, results...)
+	}
+
+	if !opts.SkipKernels {
+		kernels := Kernels()
+		if opts.KernelNames != nil {
+			var sel []Kernel
+			for _, name := range opts.KernelNames {
+				k, ok := KernelByName(name)
+				if !ok {
+					return nil, fmt.Errorf("unknown kernel %q", name)
+				}
+				sel = append(sel, k)
+			}
+			kernels = sel
+		}
+		for _, k := range kernels {
+			res := measureKernel(k, opts.BenchTime)
+			progress("kernel %-28s %12.1f ns/op  %6.3f allocs/op", k.Name, res.NsPerOp, res.AllocsPerOp)
+			rep.Results = append(rep.Results, res)
+		}
+	}
+
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Name < rep.Results[j].Name })
+	return rep, nil
+}
+
+// runExperimentMetered runs one experiment opts.Repeat times, keeping
+// the minimum wall-clock and the (deterministic) ledger metrics.
+func runExperimentMetered(id string, opts HarnessOptions) (Result, error) {
+	res := Result{Name: "exp/" + id, Kind: "experiment", Iters: opts.Repeat}
+	for rep := 0; rep < opts.Repeat; rep++ {
+		led := &comm.Ledger{}
+		start := time.Now()
+		table, err := RunMetered(id, RunCtx{Seed: opts.Seed, Quick: opts.Quick, Ledger: led})
+		wall := float64(time.Since(start).Nanoseconds())
+		if err != nil {
+			return res, err
+		}
+		if len(table.Rows) == 0 {
+			return res, fmt.Errorf("produced no rows")
+		}
+		snap := led.Snapshot()
+		if rep == 0 || wall < res.NsPerOp {
+			res.NsPerOp = wall
+		}
+		res.Rows = len(table.Rows)
+		res.Worlds = snap.Worlds
+		res.VirtualTime = snap.MaxClock
+		res.RankSeconds = snap.RankSeconds
+		res.Sends = snap.Stats.Sends
+		res.Recvs = snap.Stats.Recvs
+		res.Collectives = snap.Stats.Collective
+		res.Flops = snap.Stats.Flops
+	}
+	return res, nil
+}
+
+// measureKernel times one kernel body: warm up, grow n until the run
+// meets the time target, then measure ns/op and allocation counts over
+// the final run via runtime.MemStats deltas.
+func measureKernel(k Kernel, target time.Duration) Result {
+	body, cleanup := k.Setup()
+	defer cleanup()
+	body(1) // warm-up: pools fill, caches settle
+
+	n := 1
+	var dt time.Duration
+	for {
+		start := time.Now()
+		body(n)
+		dt = time.Since(start)
+		if dt >= target || n >= 1<<30 {
+			break
+		}
+		// Aim 20% past the target to avoid asymptotic creep.
+		grow := int(1.2 * float64(target) / float64(dt+1) * float64(n))
+		if grow < 2*n {
+			grow = 2 * n
+		}
+		n = grow
+	}
+
+	// Dedicated allocation pass (kept separate from timing so ReadMemStats
+	// and GC don't pollute ns/op).
+	an := n
+	if an > 4096 {
+		an = 4096
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	body(an)
+	runtime.ReadMemStats(&m1)
+
+	return Result{
+		Name:        k.Name,
+		Kind:        "kernel",
+		NsPerOp:     float64(dt.Nanoseconds()) / float64(n),
+		Iters:       n,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(an),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(an),
+	}
+}
+
+// WriteReport writes the canonical JSON encoding of rep to path.
+func WriteReport(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport parses a BENCH_*.json file.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, SchemaVersion)
+	}
+	return &rep, nil
+}

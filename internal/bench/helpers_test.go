@@ -47,18 +47,18 @@ func TestScalingHelpersAtSmallP(t *testing.T) {
 	const p, nLocal, iters = 4, 64, 5
 	for _, pipe := range []bool{false, true} {
 		for _, kind := range []solverKind{cgPair, gmresPair} {
-			if got := timePerIter(p, nLocal, iters, kind, pipe, nil, 1); got <= 0 {
+			if got := timePerIter(RunCtx{Seed: 1}, p, nLocal, iters, kind, pipe, nil); got <= 0 {
 				t.Errorf("timePerIter(kind=%d pipe=%v) = %g", kind, pipe, got)
 			}
 		}
 	}
-	if got := cgsTimePerIter(p, nLocal, iters, 1); got <= 0 {
+	if got := cgsTimePerIter(RunCtx{Seed: 1}, p, nLocal, iters); got <= 0 {
 		t.Errorf("cgsTimePerIter = %g", got)
 	}
 	// Ordering sanity at tiny scale: MGS is already the most
 	// reduction-heavy variant.
-	mgs := timePerIter(p, nLocal, iters, gmresPair, false, nil, 1)
-	p1 := timePerIter(p, nLocal, iters, gmresPair, true, nil, 1)
+	mgs := timePerIter(RunCtx{Seed: 1}, p, nLocal, iters, gmresPair, false, nil)
+	p1 := timePerIter(RunCtx{Seed: 1}, p, nLocal, iters, gmresPair, true, nil)
 	if p1 >= mgs {
 		t.Errorf("even at P=4, p1 (%g) should not lose to MGS (%g)", p1, mgs)
 	}

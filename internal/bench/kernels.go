@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/krylov"
+	"repro/internal/la"
+	"repro/internal/machine"
+	"repro/internal/problems"
+	"repro/internal/skp"
+)
+
+// Kernel is one micro-benchmark over a hot-path primitive. Setup builds
+// all state once and returns the measured body (run n repetitions) plus
+// a cleanup. The same definitions drive both the root `go test -bench`
+// suite and cmd/benchdiff's harness, so the two always measure the same
+// thing — and the allocation gates in CI watch exactly these bodies.
+type Kernel struct {
+	Name  string
+	Setup func() (body func(n int), cleanup func())
+}
+
+// Kernels returns the kernel micro-benchmark registry. Names are stable:
+// they key the BENCH_*.json perf baselines.
+func Kernels() []Kernel {
+	return []Kernel{
+		{Name: "kernel/spmv-poisson2d-256", Setup: spmvKernel},
+		{Name: "kernel/dot-65536", Setup: dotKernel},
+		{Name: "kernel/bitflip-pass-4096", Setup: bitflipKernel},
+		{Name: "kernel/skp-check-suite", Setup: checkSuiteKernel},
+		{Name: "kernel/skp-checked-apply", Setup: checkedApplyKernel},
+		{Name: "kernel/gmres-serial-iter", Setup: gmresIterKernel},
+		{Name: "kernel/dist-csr-apply-p4", Setup: distCSRApplyKernel},
+		{Name: "kernel/dist-gmres-iter-p4", Setup: distGMRESIterKernel},
+		{Name: "kernel/comm-allreduce-p8", Setup: func() (func(int), func()) { return allreduceKernel(8) }},
+		{Name: "kernel/comm-allreduce-p64", Setup: func() (func(int), func()) { return allreduceKernel(64) }},
+	}
+}
+
+// KernelByName finds a kernel in the registry.
+func KernelByName(name string) (Kernel, bool) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+func spmvKernel() (func(n int), func()) {
+	a := problems.Poisson2D(256, 256)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	y := make([]float64, a.Rows)
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			a.MatVec(x, y)
+		}
+	}, func() {}
+}
+
+func dotKernel() (func(n int), func()) {
+	x := make([]float64, 1<<16)
+	y := make([]float64, 1<<16)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(len(x) - i)
+	}
+	sink := 0.0
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			sink += la.Dot(x, y)
+		}
+	}, func() { _ = sink }
+}
+
+func bitflipKernel() (func(n int), func()) {
+	inj := fault.NewVectorInjector(1).WithRate(1e-3)
+	v := make([]float64, 4096)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			inj.Pass(v)
+		}
+	}, func() {}
+}
+
+func checkSuiteKernel() (func(n int), func()) {
+	a := problems.ConvDiff2D(64, 64, 20, 10)
+	op := krylov.NewCSROp(a)
+	cs := a.ColSums()
+	x := make([]float64, op.Size())
+	for i := range x {
+		x[i] = 1 + float64(i%5)
+	}
+	y := op.Apply(x)
+	checks := []skp.Check{skp.NonFinite{}, skp.NormBound{ANormInf: op.NormInf()}, skp.Checksum{ColSums: cs}}
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			for _, c := range checks {
+				if err := c.Validate(x, y); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}, func() {}
+}
+
+func checkedApplyKernel() (func(n int), func()) {
+	a := problems.ConvDiff2D(64, 64, 20, 10)
+	op := krylov.NewCSROp(a)
+	co := skp.NewCheckedOp(op, op, skp.Correct)
+	co.Checks = append(co.Checks, skp.Checksum{ColSums: a.ColSums()})
+	x := make([]float64, op.Size())
+	for i := range x {
+		x[i] = 1 + float64(i%5)
+	}
+	y := make([]float64, op.Size())
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			co.ApplyInto(x, y)
+		}
+	}, func() {}
+}
+
+// gmresIterKernel measures one steady-state GMRES(30) iteration: the
+// solve runs exactly n Arnoldi steps (the tolerance is unreachable) over
+// a reusable workspace, so after warm-up allocs/op is exactly 0 — the
+// zero-allocation gate of this PR's hot-path work.
+func gmresIterKernel() (func(n int), func()) {
+	const maxChunk = 1 << 20 // bounds the workspace's residual history
+	a := problems.ConvDiff2D(32, 32, 20, 10)
+	op := krylov.NewCSROp(a)
+	rhs, _ := problems.ManufacturedRHS(a)
+	x := make([]float64, op.Size())
+	opts := krylov.GMRESOptions{Restart: 30, Tol: 1e-300, MaxIter: maxChunk}
+	ws := krylov.NewGMRESWorkspace(op.Size(), opts)
+	return func(n int) {
+		la.Zero(x)
+		for n > 0 {
+			o := opts
+			o.MaxIter = min(n, maxChunk)
+			if _, err := krylov.GMRESInto(op, rhs, x, ws, o); err != nil {
+				panic(err)
+			}
+			n -= o.MaxIter
+		}
+	}, func() {}
+}
+
+// spmdKernel runs a persistent p-rank world whose ranks execute one
+// collective benchmark body in lock step: body(n) hands every rank the
+// repetition count and waits for all of them, so per-op cost excludes
+// world construction. The rank state (operators, workspaces) is built
+// once by setup.
+func spmdKernel(p int, setup func(c *comm.Comm) func(n int) error) (func(n int), func()) {
+	w := comm.NewWorld(comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: 1})
+	iters := make([]chan int, p)
+	acks := make(chan struct{}, p)
+	for r := 0; r < p; r++ {
+		iters[r] = make(chan int)
+		ch := iters[r]
+		w.Spawn(r, 0, func(c *comm.Comm) error {
+			body := setup(c)
+			for n := range ch {
+				if err := body(n); err != nil {
+					// Kernels run the fault-free path; an error here is a
+					// harness bug, and hanging the acks would deadlock.
+					panic(fmt.Sprintf("bench kernel rank %d: %v", c.Rank(), err))
+				}
+				acks <- struct{}{}
+			}
+			return nil
+		})
+	}
+	body := func(n int) {
+		for r := 0; r < p; r++ {
+			iters[r] <- n
+		}
+		for r := 0; r < p; r++ {
+			<-acks
+		}
+	}
+	cleanup := func() {
+		for r := 0; r < p; r++ {
+			close(iters[r])
+		}
+		w.Wait()
+	}
+	return body, cleanup
+}
+
+// distCSRApplyKernel measures the full halo-exchange SpMV across a
+// 4-rank world (one op = one collective Apply over all ranks). With the
+// recv-into halo buffers and the world-side payload recycling this is
+// allocation-free in steady state.
+func distCSRApplyKernel() (func(n int), func()) {
+	return spmdKernel(4, func(c *comm.Comm) func(n int) error {
+		a := problems.Poisson2D(64, 64)
+		m := dist.NewCSR(c, a)
+		x := make([]float64, m.LocalLen())
+		for i := range x {
+			x[i] = float64((m.Lo() + i) % 17)
+		}
+		y := make([]float64, m.LocalLen())
+		return func(n int) error {
+			for i := 0; i < n; i++ {
+				if err := m.Apply(x, y); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	})
+}
+
+// distGMRESIterKernel measures one distributed GMRES(MGS) iteration at
+// P=4: each op is one Arnoldi step including its halo exchange and j+1
+// blocking reductions (per-solve setup amortises away as n grows).
+func distGMRESIterKernel() (func(n int), func()) {
+	return spmdKernel(4, func(c *comm.Comm) func(n int) error {
+		op := dist.NewStencil3(c, 4*512, -1, 2.5, -1)
+		b := make([]float64, op.LocalLen())
+		for i := range b {
+			b[i] = 1
+		}
+		return func(n int) error {
+			_, _, err := krylov.DistGMRES(c, op, b, nil, krylov.DistGMRESOptions{
+				Restart: 30, Tol: 1e-300, MaxIter: n,
+			})
+			return err
+		}
+	})
+}
+
+// allreduceKernel measures one blocking scalar all-reduce across a
+// p-rank world — the synchronisation primitive every Krylov reduction
+// pays for, at two world sizes so a rendezvous-cost regression that
+// scales with rank count stays visible. Zero allocs/op with the pooled
+// collective slots.
+func allreduceKernel(p int) (func(n int), func()) {
+	return spmdKernel(p, func(c *comm.Comm) func(n int) error {
+		return func(n int) error {
+			for i := 0; i < n; i++ {
+				if _, err := c.AllreduceScalar(1, comm.OpSum); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	})
+}

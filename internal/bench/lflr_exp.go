@@ -8,17 +8,16 @@ import (
 	"repro/internal/fault"
 	"repro/internal/la"
 	"repro/internal/lflr"
-	"repro/internal/machine"
 )
 
-func lflrWorld(p int, seed uint64) *comm.World {
-	return comm.NewWorld(comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: seed})
+func lflrWorld(rc RunCtx, p int) *comm.World {
+	return comm.NewWorld(rc.cfg(p, nil))
 }
 
 // F4 — explicit heat with LFLR: recovery exactness and cost versus the
 // persistence interval (paper §III-C: "an explicit time-stepping
 // algorithm can be easily implemented to recover locally").
-func F4(seed uint64) *Table {
+func F4(rc RunCtx) *Table {
 	t := &Table{
 		ID:      "F4",
 		Title:   "LFLR explicit heat: bitwise recovery, cost vs persistence interval",
@@ -33,7 +32,7 @@ func F4(seed uint64) *Table {
 	for _, k := range []int{1, 5, 20, 50, 100} {
 		cfg := base
 		cfg.PersistEvery = k
-		clean, err := lflr.RunHeat(lflrWorld(p, seed), lflr.NewStore(), cfg)
+		clean, err := lflr.RunHeat(lflrWorld(rc, p), lflr.NewStore(), cfg)
 		if err != nil {
 			t.AddRow(fmt.Sprint(k), "ERR", "", "", "")
 			continue
@@ -41,7 +40,7 @@ func F4(seed uint64) *Table {
 		// The same run with no persistence at all prices the overhead.
 		noPersist := base
 		noPersist.PersistEvery = base.Steps + 1
-		free, err := lflr.RunHeat(lflrWorld(p, seed), lflr.NewStore(), noPersist)
+		free, err := lflr.RunHeat(lflrWorld(rc, p), lflr.NewStore(), noPersist)
 		if err != nil {
 			t.AddRow(fmt.Sprint(k), "ERR", "", "", "")
 			continue
@@ -49,7 +48,7 @@ func F4(seed uint64) *Table {
 
 		kill := cfg
 		kill.Killer = &fault.StepKiller{Rank: 3, Step: 237}
-		rec, err := lflr.RunHeat(lflrWorld(p, seed), lflr.NewStore(), kill)
+		rec, err := lflr.RunHeat(lflrWorld(rc, p), lflr.NewStore(), kill)
 		if err != nil {
 			t.AddRow(fmt.Sprint(k), "ERR", "", "", "")
 			continue
@@ -75,7 +74,7 @@ func F4(seed uint64) *Table {
 // F5 — CPR vs LFLR time-to-solution as failures become frequent (paper
 // §I/§II-C: kill-and-restart "is not feasible" at scale; local recovery
 // is).
-func F5(seed uint64) *Table {
+func F5(rc RunCtx) *Table {
 	t := &Table{
 		ID:      "F5",
 		Title:   "Global checkpoint/restart vs LFLR: efficiency vs scale",
@@ -84,6 +83,7 @@ func F5(seed uint64) *Table {
 	}
 	const nodeMTBF = 5e6 // seconds; ~58 days per node
 	const work = 1e5     // a ~28-hour capability job
+	seed := rc.Seed
 	for _, p := range []float64{1e2, 1e3, 1e4, 1e5} {
 		mtbf := nodeMTBF / p
 		// Checkpoint cost grows with P (global state through a parallel
@@ -116,7 +116,7 @@ func F5(seed uint64) *Table {
 // T3 — implicit heat recovering from a coarsened redundant replica (paper
 // §III-C: "storing a coarse model representation on neighboring processes
 // ... to boot-strap state recovery upon failure").
-func T3(seed uint64) *Table {
+func T3(rc RunCtx) *Table {
 	t := &Table{
 		ID:      "T3",
 		Title:   "Implicit heat: coarse-replica bootstrap recovery quality vs coarsening",
@@ -125,7 +125,7 @@ func T3(seed uint64) *Table {
 	}
 	const p = 4
 	base := lflr.ImplicitConfig{Nx: 32, Ny: 48, Nu: 1.0, Steps: 16, CGTol: 1e-10}
-	clean, err := lflr.RunImplicitHeat(lflrWorld(p, seed), lflr.NewStore(), base)
+	clean, err := lflr.RunImplicitHeat(lflrWorld(rc, p), lflr.NewStore(), base)
 	if err != nil {
 		t.Notes = append(t.Notes, "clean run failed: "+err.Error())
 		return t
@@ -140,7 +140,7 @@ func T3(seed uint64) *Table {
 		cfg := base
 		cfg.Coarsen = c
 		cfg.Killer = &fault.StepKiller{Rank: 1, Step: 8}
-		res, err := lflr.RunImplicitHeat(lflrWorld(p, seed), lflr.NewStore(), cfg)
+		res, err := lflr.RunImplicitHeat(lflrWorld(rc, p), lflr.NewStore(), cfg)
 		if err != nil {
 			t.AddRow(fmt.Sprint(c), "ERR", err.Error(), "", "")
 			continue
@@ -171,7 +171,7 @@ func T3(seed uint64) *Table {
 // caught by the conservation invariant (§II-A) and repaired by a local
 // rollback to the persistent store (§II-C) — the "rolling back to a
 // previous valid state" recovery the paper names, with no process loss.
-func F9(seed uint64) *Table {
+func F9(rc RunCtx) *Table {
 	t := &Table{
 		ID:      "F9",
 		Title:   "SDC in a PDE field: conservation guard + store rollback vs silent corruption",
@@ -180,7 +180,7 @@ func F9(seed uint64) *Table {
 	}
 	const p = 8
 	base := lflr.HeatConfig{Nx: 48, Ny: 64, Nu: 0.25, Steps: 400, PersistEvery: 20}
-	clean, err := lflr.RunHeat(lflrWorld(p, seed), lflr.NewStore(), base)
+	clean, err := lflr.RunHeat(lflrWorld(rc, p), lflr.NewStore(), base)
 	if err != nil {
 		t.Notes = append(t.Notes, "clean run failed: "+err.Error())
 		return t
@@ -210,7 +210,7 @@ func F9(seed uint64) *Table {
 			cfg := base
 			cfg.EnergyGuard = guard
 			cfg.SDC = &lflr.SDCEvent{Rank: 3, Step: 237, Index: 7, Bit: bit}
-			res, err := lflr.RunHeat(lflrWorld(p, seed), lflr.NewStore(), cfg)
+			res, err := lflr.RunHeat(lflrWorld(rc, p), lflr.NewStore(), cfg)
 			if err != nil {
 				t.AddRow(fmt.Sprint(bit), onOff(guard), "ERR", "", err.Error())
 				continue
@@ -232,7 +232,7 @@ func F9(seed uint64) *Table {
 // downward flips that F9's energy-decay (inequality) guard must miss.
 // The experiment is the paper's §II-A taken seriously: pick invariants
 // with tight algebraic structure and detection coverage follows.
-func F10(seed uint64) *Table {
+func F10(rc RunCtx) *Table {
 	t := &Table{
 		ID:      "F10",
 		Title:   "Equality vs inequality invariants: mass guard catches both flip directions",
@@ -242,7 +242,7 @@ func F10(seed uint64) *Table {
 	const p = 4
 	heatBase := lflr.HeatConfig{Nx: 16, Ny: 40, Nu: 0.25, Steps: 120, PersistEvery: 20, EnergyGuard: true}
 	advBase := lflr.AdvectConfig{N: 200, C: 0.5, Steps: 120, PersistEvery: 20, MassGuard: true}
-	advClean, err := lflr.RunAdvection(lflrWorld(p, seed), lflr.NewStore(), advBase)
+	advClean, err := lflr.RunAdvection(lflrWorld(rc, p), lflr.NewStore(), advBase)
 	if err != nil {
 		t.Notes = append(t.Notes, "clean advection run failed: "+err.Error())
 		return t
@@ -258,7 +258,7 @@ func F10(seed uint64) *Table {
 		// Heat: energy-decay guard.
 		hc := heatBase
 		hc.SDC = &lflr.SDCEvent{Rank: 1, Step: 63, Index: 4, Bit: tc.bit}
-		hres, err := lflr.RunHeat(lflrWorld(p, seed), lflr.NewStore(), hc)
+		hres, err := lflr.RunHeat(lflrWorld(rc, p), lflr.NewStore(), hc)
 		heatDet := "ERR"
 		if err == nil {
 			heatDet = pct(hres.SDCDetections, 1)
@@ -266,7 +266,7 @@ func F10(seed uint64) *Table {
 		// Advection: mass-equality guard.
 		ac := advBase
 		ac.SDC = &lflr.SDCEvent{Rank: 1, Step: 63, Index: 4, Bit: tc.bit}
-		ares, err := lflr.RunAdvection(lflrWorld(p, seed), lflr.NewStore(), ac)
+		ares, err := lflr.RunAdvection(lflrWorld(rc, p), lflr.NewStore(), ac)
 		advDet, field := "ERR", ""
 		if err == nil {
 			advDet = pct(ares.SDCDetections, 1)

@@ -20,8 +20,8 @@ const (
 // timePerIter runs `iters` iterations of the chosen solver at P ranks
 // (weak scaling: nLocal points per rank on a 1D chain) and returns the
 // virtual time per iteration, maximised over ranks.
-func timePerIter(p, nLocal, iters int, kind solverKind, pipelined bool, noise machine.Noise, seed uint64) float64 {
-	cfg := comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Noise: noise, Seed: seed}
+func timePerIter(rc RunCtx, p, nLocal, iters int, kind solverKind, pipelined bool, noise machine.Noise) float64 {
+	cfg := rc.cfg(p, noise)
 	var out float64
 	err := comm.Run(cfg, func(c *comm.Comm) error {
 		op := dist.NewStencil3(c, nLocal*p, -1, 2.5, -1)
@@ -63,7 +63,7 @@ func timePerIter(p, nLocal, iters int, kind solverKind, pipelined bool, noise ma
 // F2 — weak-scaling latency sweep without noise (paper §III-B: poorly
 // scaling synchronous collectives are "severe performance limiters";
 // pipelining "can help restore scalability").
-func F2(seed uint64) *Table {
+func F2(rc RunCtx) *Table {
 	t := &Table{
 		ID:      "F2",
 		Title:   "Virtual time per iteration vs P (weak scaling, no noise)",
@@ -71,11 +71,15 @@ func F2(seed uint64) *Table {
 		Columns: []string{"P", "CG", "pipelined CG", "CG gain", "GMRES(MGS)", "p1-GMRES", "GMRES gain"},
 	}
 	const nLocal, iters = 256, 15
-	for _, p := range []int{16, 64, 256, 1024, 4096} {
-		cg := timePerIter(p, nLocal, iters, cgPair, false, nil, seed)
-		pcg := timePerIter(p, nLocal, iters, cgPair, true, nil, seed)
-		gm := timePerIter(p, nLocal, iters, gmresPair, false, nil, seed)
-		p1 := timePerIter(p, nLocal, iters, gmresPair, true, nil, seed)
+	ps := []int{16, 64, 256, 1024, 4096}
+	if rc.Quick {
+		ps = ps[:2]
+	}
+	for _, p := range ps {
+		cg := timePerIter(rc, p, nLocal, iters, cgPair, false, nil)
+		pcg := timePerIter(rc, p, nLocal, iters, cgPair, true, nil)
+		gm := timePerIter(rc, p, nLocal, iters, gmresPair, false, nil)
+		p1 := timePerIter(rc, p, nLocal, iters, gmresPair, true, nil)
 		t.AddRow(fmt.Sprint(p), f(cg), f(pcg), speedup(cg, pcg), f(gm), f(p1), speedup(gm, p1))
 	}
 	t.Notes = append(t.Notes,
@@ -90,7 +94,7 @@ func F2(seed uint64) *Table {
 // interruptions arriving at 500 Hz of compute time per rank — invariant
 // to how kernels are fused, so the comparison isolates synchronisation
 // structure.
-func F3(seed uint64) *Table {
+func F3(rc RunCtx) *Table {
 	t := &Table{
 		ID:      "F3",
 		Title:   "Per-iteration time under OS noise (25µs spikes @ 500/s compute)",
@@ -99,11 +103,15 @@ func F3(seed uint64) *Table {
 	}
 	const nLocal, iters = 256, 15
 	noise := machine.FixedSpike{Rate: 500, Duration: 25e-6}
-	for _, p := range []int{16, 64, 256, 1024, 4096} {
-		gq := timePerIter(p, nLocal, iters, gmresPair, false, nil, seed)
-		gn := timePerIter(p, nLocal, iters, gmresPair, false, noise, seed)
-		pq := timePerIter(p, nLocal, iters, gmresPair, true, nil, seed)
-		pn := timePerIter(p, nLocal, iters, gmresPair, true, noise, seed)
+	ps := []int{16, 64, 256, 1024, 4096}
+	if rc.Quick {
+		ps = ps[:2]
+	}
+	for _, p := range ps {
+		gq := timePerIter(rc, p, nLocal, iters, gmresPair, false, nil)
+		gn := timePerIter(rc, p, nLocal, iters, gmresPair, false, noise)
+		pq := timePerIter(rc, p, nLocal, iters, gmresPair, true, nil)
+		pn := timePerIter(rc, p, nLocal, iters, gmresPair, true, noise)
 		t.AddRow(fmt.Sprint(p), f(gq), f(gn), slow(gq, gn), f(pq), f(pn), slow(pq, pn), speedup(gn, pn))
 	}
 	t.Notes = append(t.Notes,
@@ -125,7 +133,7 @@ func slow(quiet, noisy float64) string {
 // tolerance of latency and performance variability"). Fat ranks are
 // compute-dominated, so reductions — and hence pipelining — matter only
 // beyond some scale; thin ranks are latency-dominated from the start.
-func T2(seed uint64) *Table {
+func T2(rc RunCtx) *Table {
 	t := &Table{
 		ID:      "T2",
 		Title:   "Smallest P where p1-GMRES beats MGS GMRES by a factor, per rank size",
@@ -134,12 +142,17 @@ func T2(seed uint64) *Table {
 	}
 	const iters = 15
 	ps := []int{4, 16, 64, 256, 1024}
-	for _, nLocal := range []int{256, 4096, 32768} {
+	sizes := []int{256, 4096, 32768}
+	if rc.Quick {
+		ps = ps[:3]
+		sizes = sizes[:2]
+	}
+	for _, nLocal := range sizes {
 		cross := map[float64]string{1.25: "-", 1.5: "-", 2: "-"}
 		lastGain := ""
 		for _, p := range ps {
-			gm := timePerIter(p, nLocal, iters, gmresPair, false, nil, seed)
-			p1 := timePerIter(p, nLocal, iters, gmresPair, true, nil, seed)
+			gm := timePerIter(rc, p, nLocal, iters, gmresPair, false, nil)
+			p1 := timePerIter(rc, p, nLocal, iters, gmresPair, true, nil)
 			if p1 <= 0 || gm <= 0 {
 				continue
 			}
@@ -163,19 +176,23 @@ func T2(seed uint64) *Table {
 
 // F8 — the comm-substrate microbenchmark (paper §II-B: MPI-3
 // "asynchronous neighborhood and global collectives" enable RBSP).
-func F8(seed uint64) *Table {
+func F8(rc RunCtx) *Table {
 	t := &Table{
 		ID:      "F8",
 		Title:   "Blocking vs non-blocking Allreduce with W flops of overlap work",
 		Claim:   "§II-B: non-blocking collectives let useful work hide collective latency",
 		Columns: []string{"P", "W (flops)", "blocking (s)", "overlapped (s)", "hidden"},
 	}
-	for _, p := range []int{64, 1024} {
+	ps := []int{64, 1024}
+	if rc.Quick {
+		ps = ps[:1]
+	}
+	for _, p := range ps {
 		for _, w := range []float64{0, 1e4, 1e5, 1e6} {
 			var tBlock, tOverlap float64
 			run := func(overlap bool) float64 {
 				var out float64
-				err := comm.Run(comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: seed}, func(c *comm.Comm) error {
+				err := comm.Run(rc.cfg(p, nil), func(c *comm.Comm) error {
 					const reps = 10
 					for i := 0; i < reps; i++ {
 						if overlap {

@@ -4,12 +4,33 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+
+	"repro/internal/comm"
+	"repro/internal/machine"
 )
+
+// RunCtx carries the cross-cutting parameters of one experiment run.
+type RunCtx struct {
+	Seed uint64
+	// Quick asks scaling sweeps to stop at their smallest scales — the
+	// harness's quick mode and the registry smoke test use it so every
+	// experiment (including the Slow ones) stays affordable.
+	Quick bool
+	// Ledger, when non-nil, aggregates communication activity across
+	// every world the experiment creates (see comm.Ledger).
+	Ledger *comm.Ledger
+}
+
+// cfg builds the standard world config for an experiment's sub-run,
+// wiring through the seed and the activity ledger.
+func (rc RunCtx) cfg(p int, noise machine.Noise) comm.Config {
+	return comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Noise: noise, Seed: rc.Seed, Ledger: rc.Ledger}
+}
 
 // Experiment is one runnable entry of the DESIGN.md index.
 type Experiment struct {
 	ID   string
-	Run  func(seed uint64) *Table
+	Run  func(rc RunCtx) *Table
 	Slow bool // excluded from -short harness runs
 }
 
@@ -69,11 +90,17 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes one experiment by ID.
+// Run executes one experiment by ID at full scale.
 func Run(id string, seed uint64) (*Table, error) {
+	return RunMetered(id, RunCtx{Seed: seed})
+}
+
+// RunMetered executes one experiment by ID under the given context —
+// the harness entry point (quick scaling, ledger attachment).
+func RunMetered(id string, rc RunCtx) (*Table, error) {
 	e, ok := Registry()[id]
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
 	}
-	return e.Run(seed), nil
+	return e.Run(rc), nil
 }

@@ -16,7 +16,8 @@ import (
 // (paper §III-A: an implementation of GMRES "detects and, optionally,
 // corrects single bit flips very inexpensively as part of the Arnoldi
 // process").
-func F1(seed uint64) *Table {
+func F1(rc RunCtx) *Table {
+	seed := rc.Seed
 	t := &Table{
 		ID:      "F1",
 		Title:   "Skeptical GMRES vs unchecked GMRES under single bit flips",
@@ -87,7 +88,8 @@ func F1(seed uint64) *Table {
 
 // T1 — the detection matrix: per-check detection and false-positive
 // rates, and check overhead (paper §II-A: checks are "very low cost").
-func T1(seed uint64) *Table {
+func T1(rc RunCtx) *Table {
+	seed := rc.Seed
 	t := &Table{
 		ID:      "T1",
 		Title:   "Skeptical check suite: detection rate, false positives, overhead",
@@ -155,7 +157,8 @@ func T1(seed uint64) *Table {
 // F7 — Huang–Abraham checksummed matrix multiply (paper §III-A / ref [4]:
 // "many existing ABFT algorithms can be implemented using a skeptical
 // algorithm programming approach").
-func F7(seed uint64) *Table {
+func F7(rc RunCtx) *Table {
+	seed := rc.Seed
 	t := &Table{
 		ID:      "F7",
 		Title:   "ABFT checksummed MatMul: detection, correction, overhead",

@@ -13,7 +13,8 @@ import (
 // F6 — FT-GMRES vs plain GMRES on an unreliable substrate (paper §III-D:
 // reliable outer + unreliable inner "retain[s] the robustness of a fully
 // reliable approach").
-func F6(seed uint64) *Table {
+func F6(rc RunCtx) *Table {
+	seed := rc.Seed
 	t := &Table{
 		ID:      "F6",
 		Title:   "FT-GMRES (reliable outer / faulty inner) vs plain GMRES on faulty hardware",
@@ -53,7 +54,8 @@ func F6(seed uint64) *Table {
 // T4 — the SRP execution-strategy cost model (paper §II-D: "even very
 // expensive approaches such as triple modular redundancy (TMR) can still
 // be much faster than a fully unreliable approach").
-func T4(seed uint64) *Table {
+func T4(rc RunCtx) *Table {
+	seed := rc.Seed
 	t := &Table{
 		ID:      "T4",
 		Title:   "Execution strategies on unreliable hardware: expected completion time",

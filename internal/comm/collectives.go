@@ -84,12 +84,23 @@ func (c *Comm) enterColl(kind collKind, op Op, root int, data []float64) (*collS
 	c.seq++
 	s, ok := w.colls[key]
 	if !ok {
-		s = &collSlot{
-			kind:    kind,
-			op:      op,
-			root:    root,
-			cond:    sync.NewCond(&w.mu),
-			contrib: make([][]float64, w.n),
+		// Recycle a retired slot when one is available: the cond (bound
+		// to the world mutex, which never changes) and the contrib array
+		// survive reuse, so a steady-state reduction loop allocates
+		// nothing.
+		if n := len(w.slotPool); n > 0 {
+			s = w.slotPool[n-1]
+			w.slotPool[n-1] = nil
+			w.slotPool = w.slotPool[:n-1]
+			*s = collSlot{kind: kind, op: op, root: root, cond: s.cond, contrib: s.contrib}
+		} else {
+			s = &collSlot{
+				kind:    kind,
+				op:      op,
+				root:    root,
+				cond:    sync.NewCond(&w.mu),
+				contrib: make([][]float64, w.n),
+			}
 		}
 		w.colls[key] = s
 	} else if s.kind != kind || s.op != op || s.root != root {
@@ -99,7 +110,7 @@ func (c *Comm) enterColl(kind collKind, op Op, root int, data []float64) (*collS
 	// Copy the payload so the caller can reuse its buffer immediately.
 	// A Barrier's nil payload becomes a non-nil empty slice, which is what
 	// marks this rank as arrived in contrib.
-	cp := make([]float64, len(data))
+	cp := w.pool.get(len(data))
 	copy(cp, data)
 	s.contrib[c.rank] = cp
 	s.arrived++
@@ -124,7 +135,7 @@ func (w *World) finishCollLocked(s *collSlot) {
 	case kindAllreduce:
 		n := len(s.contrib[0])
 		msgBytes = 8 * n
-		res := make([]float64, n)
+		res := w.pool.get(n)
 		copy(res, s.contrib[0])
 		for r := 1; r < w.n; r++ {
 			if len(s.contrib[r]) != n {
@@ -136,16 +147,27 @@ func (w *World) finishCollLocked(s *collSlot) {
 	case kindBroadcast:
 		src := s.contrib[s.root]
 		msgBytes = 8 * len(src)
-		res := make([]float64, len(src))
+		res := w.pool.get(len(src))
 		copy(res, src)
 		s.result = res
 	case kindAllgather:
-		var total []float64
+		n := 0
 		for r := 0; r < w.n; r++ {
-			total = append(total, s.contrib[r]...)
+			n += len(s.contrib[r])
 		}
-		msgBytes = 8 * len(total)
+		msgBytes = 8 * n
+		total := w.pool.get(n)
+		at := 0
+		for r := 0; r < w.n; r++ {
+			at += copy(total[at:], s.contrib[r])
+		}
 		s.result = total
+	}
+	// The contributions are folded into the result; recycle them now so
+	// a concurrent collective can pick them up without allocating.
+	for r := range s.contrib {
+		w.pool.put(s.contrib[r])
+		s.contrib[r] = nil
 	}
 	s.complete = s.maxPost + w.cost.Collective(w.n, msgBytes)
 	s.done = true
@@ -153,16 +175,14 @@ func (w *World) finishCollLocked(s *collSlot) {
 	s.cond.Broadcast()
 }
 
-// waitColl blocks until the slot completes (or aborts on failure), then
-// synchronises this rank's clock to the completion time and returns the
-// result. The caller must not hold w.mu.
-func (c *Comm) waitColl(s *collSlot, key collKey) ([]float64, error) {
+// awaitCollLocked blocks until the slot completes (or aborts on
+// failure) and synchronises this rank's clock to the completion time.
+// Called with w.mu held.
+func (c *Comm) awaitCollLocked(s *collSlot) error {
 	w := c.world
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	for {
 		if w.failed[c.rank] {
-			return nil, ErrKilled
+			return ErrKilled
 		}
 		if s.done {
 			break
@@ -170,25 +190,74 @@ func (c *Comm) waitColl(s *collSlot, key collKey) ([]float64, error) {
 		if w.revoked || c.epoch != w.epoch {
 			s.aborted = true
 			s.cond.Broadcast()
-			return nil, ErrRankFailed
+			return ErrRankFailed
 		}
 		if s.aborted {
-			return nil, ErrRankFailed
+			return ErrRankFailed
 		}
 		s.cond.Wait()
 	}
 	c.clock.SyncTo(s.complete)
 	w.observeClock(c.clock.Now())
+	return nil
+}
+
+// departCollLocked retires this rank from a completed slot; the last
+// rank out recycles the result buffer and the slot itself.
+func (c *Comm) departCollLocked(s *collSlot, key collKey) {
+	w := c.world
+	s.departed++
+	if s.departed != w.n {
+		return
+	}
+	delete(w.colls, key)
+	if s.result != nil {
+		w.pool.put(s.result)
+		s.result = nil
+	}
+	if len(w.slotPool) < 64 {
+		w.slotPool = append(w.slotPool, s)
+	}
+}
+
+// waitColl blocks until the slot completes (or aborts on failure), then
+// synchronises this rank's clock to the completion time and returns a
+// fresh copy of the result. The caller must not hold w.mu.
+func (c *Comm) waitColl(s *collSlot, key collKey) ([]float64, error) {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := c.awaitCollLocked(s); err != nil {
+		return nil, err
+	}
 	var out []float64
 	if s.result != nil {
 		out = make([]float64, len(s.result))
 		copy(out, s.result)
 	}
-	s.departed++
-	if s.departed == w.n {
-		delete(w.colls, key)
-	}
+	c.departCollLocked(s, key)
 	return out, nil
+}
+
+// waitCollInto is waitColl with a caller-provided destination; it
+// returns the number of values copied. out may alias the buffer the
+// collective was posted with (the contribution was copied at post time).
+func (c *Comm) waitCollInto(s *collSlot, key collKey, out []float64) (int, error) {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := c.awaitCollLocked(s); err != nil {
+		return 0, err
+	}
+	n := 0
+	if s.result != nil {
+		if len(out) < len(s.result) {
+			panic("comm: collective destination shorter than result")
+		}
+		n = copy(out, s.result)
+	}
+	c.departCollLocked(s, key)
+	return n, nil
 }
 
 // key reconstructs the slot key for the collective this rank just
@@ -217,13 +286,27 @@ func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
 	return c.waitColl(s, c.lastKey())
 }
 
-// AllreduceScalar is Allreduce for a single value.
-func (c *Comm) AllreduceScalar(x float64, op Op) (float64, error) {
-	res, err := c.Allreduce([]float64{x}, op)
+// AllreduceInto is Allreduce with a caller-provided result buffer (which
+// may alias data — the contribution is copied at post time). With the
+// world's buffer and slot recycling this makes a steady-state reduction
+// loop fully allocation-free, which is what lets the Krylov hot loops
+// reach 0 allocs/iteration.
+func (c *Comm) AllreduceInto(data []float64, op Op, out []float64) error {
+	s, err := c.enterColl(kindAllreduce, op, 0, data)
 	if err != nil {
+		return err
+	}
+	_, err = c.waitCollInto(s, c.lastKey(), out)
+	return err
+}
+
+// AllreduceScalar is Allreduce for a single value. It is allocation-free.
+func (c *Comm) AllreduceScalar(x float64, op Op) (float64, error) {
+	c.sbuf[0] = x
+	if err := c.AllreduceInto(c.sbuf[:], op, c.sbuf[:]); err != nil {
 		return 0, err
 	}
-	return res[0], nil
+	return c.sbuf[0], nil
 }
 
 // Broadcast distributes root's data to every rank. Non-root ranks may

@@ -14,6 +14,7 @@ type Comm struct {
 	seq   int // collective sequence number within the current epoch
 	clock machine.Clock
 	stats Stats
+	sbuf  [1]float64 // scratch for allocation-free scalar reductions
 }
 
 // Stats accumulates per-rank activity counters, used by the experiment

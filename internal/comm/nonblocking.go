@@ -21,8 +21,19 @@ type Request struct {
 // IAllreduce posts a non-blocking all-reduce of data with op and returns
 // immediately with a Request. The caller must eventually call Wait.
 func (c *Comm) IAllreduce(data []float64, op Op) *Request {
+	req := new(Request)
+	c.StartAllreduce(data, op, req)
+	return req
+}
+
+// StartAllreduce posts a non-blocking all-reduce into a caller-owned
+// Request, so a pipelined solver can reuse one Request value across all
+// iterations instead of allocating a handle per post. data may be reused
+// immediately (the contribution is copied at post time); complete with
+// WaitInto for a fully allocation-free overlap loop.
+func (c *Comm) StartAllreduce(data []float64, op Op, req *Request) {
 	s, err := c.enterColl(kindAllreduce, op, 0, data)
-	return &Request{c: c, s: s, key: c.lastKey(), err: err}
+	*req = Request{c: c, s: s, key: c.lastKey(), err: err}
 }
 
 // IBarrier posts a non-blocking barrier.
@@ -38,6 +49,17 @@ func (r *Request) Wait() ([]float64, error) {
 		return nil, r.err
 	}
 	return r.c.waitColl(r.s, r.key)
+}
+
+// WaitInto blocks until the collective completes and copies its result
+// into out (which must be at least result-sized), returning the number
+// of values copied. Like Wait it may be called once; unlike Wait it
+// performs no allocation.
+func (r *Request) WaitInto(out []float64) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	return r.c.waitCollInto(r.s, r.key, out)
 }
 
 // Test reports whether the collective has already completed (every rank

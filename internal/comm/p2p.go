@@ -56,11 +56,13 @@ func (c *Comm) Send(dst, tag int, data []float64) error {
 	if w.failed[dst] {
 		return ErrRankFailed
 	}
-	// Sender pays its overhead, then the message flies.
+	// Sender pays its overhead, then the message flies. The payload copy
+	// comes from the world's buffer pool: RecvInto returns it there, so
+	// steady-state exchanges allocate nothing.
 	c.clock.Advance(w.cost.Overhead)
 	bytes := 8 * len(data)
 	arrive := c.clock.Now() + w.cost.PointToPoint(bytes)
-	cp := make([]float64, len(data))
+	cp := w.pool.get(len(data))
 	copy(cp, data)
 	q := &w.queues[dst]
 	q.init(&w.mu)
@@ -74,8 +76,39 @@ func (c *Comm) Send(dst, tag int, data []float64) error {
 // Recv blocks until a message from rank src with the given tag is
 // available, then returns its payload. The receiver's clock advances to
 // the message's arrival time plus receive overhead. Recv returns
-// ErrRankFailed if src (or any rank) fails while it waits.
+// ErrRankFailed if src (or any rank) fails while it waits. The returned
+// slice is owned by the caller; allocation-free receivers use RecvInto.
 func (c *Comm) Recv(src, tag int) ([]float64, error) {
+	m, err := c.recvMessage(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RecvInto is Recv with a caller-provided destination: the payload is
+// copied into dst (which must be at least as long as the message) and
+// the message's internal buffer is recycled, so a steady-state exchange
+// over fixed-size halos performs zero allocations. It returns the
+// number of values copied.
+func (c *Comm) RecvInto(src, tag int, dst []float64) (int, error) {
+	m, err := c.recvMessage(src, tag)
+	if err != nil {
+		return 0, err
+	}
+	if len(dst) < len(m) {
+		panic("comm: RecvInto destination shorter than message")
+	}
+	n := copy(dst, m)
+	c.world.mu.Lock()
+	c.world.pool.put(m)
+	c.world.mu.Unlock()
+	return n, nil
+}
+
+// recvMessage blocks until a matching message is available, removes it
+// from the queue, advances the clock, and returns its payload buffer.
+func (c *Comm) recvMessage(src, tag int) ([]float64, error) {
 	w := c.world
 	w.mu.Lock()
 	defer w.mu.Unlock()

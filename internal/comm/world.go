@@ -44,10 +44,11 @@ var (
 
 // Config describes a simulated world.
 type Config struct {
-	Ranks int               // number of ranks (processes)
-	Cost  machine.CostModel // communication/computation cost model
-	Noise machine.Noise     // per-compute-phase jitter model; nil = none
-	Seed  uint64            // master seed; per-rank RNGs derive from it
+	Ranks  int               // number of ranks (processes)
+	Cost   machine.CostModel // communication/computation cost model
+	Noise  machine.Noise     // per-compute-phase jitter model; nil = none
+	Seed   uint64            // master seed; per-rank RNGs derive from it
+	Ledger *Ledger           // optional cross-world activity aggregation
 }
 
 // World is a set of simulated ranks plus the shared machinery they
@@ -68,7 +69,10 @@ type World struct {
 	queues   []msgQueue // per-destination-rank mailboxes
 	colls    map[collKey]*collSlot
 	maxClock float64 // latest virtual time observed by any operation
+	pool     bufPool // recycled payload buffers (guarded by mu)
+	slotPool []*collSlot
 
+	ledger  *Ledger
 	seedRNG *machine.RNG
 	wg      sync.WaitGroup
 	errsMu  sync.Mutex
@@ -95,10 +99,14 @@ func NewWorld(cfg Config) *World {
 		failed:  make([]bool, cfg.Ranks),
 		queues:  make([]msgQueue, cfg.Ranks),
 		colls:   make(map[collKey]*collSlot),
+		ledger:  cfg.Ledger,
 		seedRNG: machine.NewRNG(cfg.Seed ^ 0xda3e39cb94b95bdb),
 		errs:    make(map[int]error),
 	}
 	w.cond = sync.NewCond(&w.mu)
+	if w.ledger != nil {
+		w.ledger.noteWorld()
+	}
 	return w
 }
 
@@ -132,6 +140,9 @@ func (w *World) Spawn(r int, startTime float64, fn func(c *Comm) error) {
 	go func() {
 		defer w.wg.Done()
 		err := fn(c)
+		if w.ledger != nil {
+			w.ledger.noteRankExit(c.stats, c.clock.Now())
+		}
 		w.errsMu.Lock()
 		w.errs[r] = err
 		w.errsMu.Unlock()

@@ -56,7 +56,8 @@ type haloSend struct {
 // haloRecv lists where one neighbour's shipment lands in xbuf.
 type haloRecv struct {
 	rank int
-	pos  []int // xbuf positions, ascending global order (matches sender)
+	pos  []int     // xbuf positions, ascending global order (matches sender)
+	buf  []float64 // reusable landing buffer (RecvInto copies the payload)
 }
 
 // NewCSR builds rank c.Rank()'s slab of the square global matrix a.
@@ -119,7 +120,7 @@ func NewCSR(c *comm.Comm, a *la.CSR) *CSR {
 			pos = append(pos, nl+k)
 			k++
 		}
-		m.recvs = append(m.recvs, haloRecv{rank: owner, pos: pos})
+		m.recvs = append(m.recvs, haloRecv{rank: owner, pos: pos, buf: make([]float64, len(pos))})
 	}
 
 	// Send plan: scan each other rank's rows for references into my
@@ -172,12 +173,11 @@ func (m *CSR) Apply(x, y []float64) error {
 		}
 	}
 	for _, rcv := range m.recvs {
-		data, err := m.c.Recv(rcv.rank, tagCSRHalo)
-		if err != nil {
+		if _, err := m.c.RecvInto(rcv.rank, tagCSRHalo, rcv.buf); err != nil {
 			return err
 		}
 		for k, pos := range rcv.pos {
-			m.xbuf[pos] = data[k]
+			m.xbuf[pos] = rcv.buf[k]
 		}
 	}
 	m.ApplyLocal(y)

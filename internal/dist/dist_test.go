@@ -61,7 +61,7 @@ func TestPartitionTilesAndBalances(t *testing.T) {
 // partitions.
 func TestNorm2DotMatchSerial(t *testing.T) {
 	const n = 143
-	xg, yg := testVector(n), testVector(2*n)[n:]
+	xg, yg := testVector(n), testVector(2 * n)[n:]
 	wantNorm := la.Nrm2(xg)
 	wantDot := la.Dot(xg, yg)
 	for _, p := range rankCounts {

@@ -22,6 +22,7 @@ type Stencil3 struct {
 	lo, hi           int
 	n                int
 	sub, diag, super float64
+	hbuf             [1]float64 // reusable halo landing buffer
 }
 
 // NewStencil3 builds rank c.Rank()'s piece of the n-point chain. Every
@@ -55,18 +56,16 @@ func (s *Stencil3) Apply(x, y []float64) error {
 	}
 	left, right := 0.0, 0.0 // Dirichlet zeros outside the global chain
 	if rank > 0 {
-		v, err := c.Recv(rank-1, tagS3Right)
-		if err != nil {
+		if _, err := c.RecvInto(rank-1, tagS3Right, s.hbuf[:]); err != nil {
 			return err
 		}
-		left = v[0]
+		left = s.hbuf[0]
 	}
 	if rank < p-1 {
-		v, err := c.Recv(rank+1, tagS3Left)
-		if err != nil {
+		if _, err := c.RecvInto(rank+1, tagS3Left, s.hbuf[:]); err != nil {
 			return err
 		}
-		right = v[0]
+		right = s.hbuf[0]
 	}
 
 	for i := 0; i < nl; i++ {

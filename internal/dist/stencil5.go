@@ -24,6 +24,8 @@ type Stencil5 struct {
 	nx, ny    int
 	jlo, jhi  int
 	diag, off float64
+	hbelow    []float64 // reusable halo rows
+	habove    []float64
 }
 
 // NewStencil5 builds rank c.Rank()'s row slab of the nx×ny grid. Every
@@ -36,6 +38,8 @@ func NewStencil5(c *comm.Comm, nx, ny int, diag, off float64) *Stencil5 {
 	checkWorld(c, ny, "grid")
 	s := &Stencil5{c: c, pt: Partition{N: ny, P: c.Size()}, nx: nx, ny: ny, diag: diag, off: off}
 	s.jlo, s.jhi = s.pt.Range(c.Rank())
+	s.hbelow = make([]float64, nx)
+	s.habove = make([]float64, nx)
 	return s
 }
 
@@ -64,18 +68,16 @@ func (s *Stencil5) Apply(x, y []float64) error {
 	}
 	var below, above []float64 // nil = Dirichlet zeros beyond the grid
 	if rank > 0 {
-		v, err := c.Recv(rank-1, tagS5Down)
-		if err != nil {
+		if _, err := c.RecvInto(rank-1, tagS5Down, s.hbelow); err != nil {
 			return err
 		}
-		below = v
+		below = s.hbelow
 	}
 	if rank < p-1 {
-		v, err := c.Recv(rank+1, tagS5Up)
-		if err != nil {
+		if _, err := c.RecvInto(rank+1, tagS5Up, s.habove); err != nil {
 			return err
 		}
-		above = v
+		above = s.habove
 	}
 
 	// Row-sliced sweep: resolve the j-1/j-+1 sources once per row

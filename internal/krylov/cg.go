@@ -40,9 +40,18 @@ func CG(a Op, b []float64, x0 []float64, opts CGOptions) ([]float64, Stats, erro
 		st.Converged = true
 		return x, st, nil
 	}
-	r := la.Sub(b, a.Apply(x))
+	// All scratch is allocated once up front (residual history included),
+	// so the iteration loop itself is allocation-free for InPlaceOp
+	// operators.
+	r := make([]float64, n)
+	applyOp(a, x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
 	p := la.Copy(r)
+	q := make([]float64, n)
 	rho := la.Dot(r, r)
+	st.Residuals = makeResidualHistory(opts.MaxIter)
 
 	for st.Iterations < opts.MaxIter {
 		relres := math.Sqrt(rho) / bnorm
@@ -57,7 +66,7 @@ func CG(a Op, b []float64, x0 []float64, opts CGOptions) ([]float64, Stats, erro
 			st.Converged = true
 			return x, st, nil
 		}
-		q := a.Apply(p)
+		applyOp(a, p, q)
 		sigma := la.Dot(p, q)
 		if sigma <= 0 {
 			// Not SPD (or corrupted); stop rather than diverge silently.

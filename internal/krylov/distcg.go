@@ -64,6 +64,7 @@ func DistCG(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistOptions) ([
 		return x, st, err
 	}
 	st.Reductions++
+	st.Residuals = makeResidualHistory(opts.MaxIter)
 
 	for st.Iterations < opts.MaxIter {
 		relres := math.Sqrt(rho) / bnorm
@@ -154,13 +155,18 @@ func DistPipelinedCG(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistOp
 		m = make([]float64, n) // n_i = A·w_i result buffer
 	)
 	var alpha, gammaOld float64
+	// One reusable request and reduction buffer: with the world-side
+	// buffer recycling, the overlap loop allocates nothing per iteration.
+	var req comm.Request
+	red := make([]float64, 2)
+	st.Residuals = makeResidualHistory(opts.MaxIter)
 
 	for st.Iterations < opts.MaxIter {
 		// Merged local dots, posted as one non-blocking reduction.
-		lg := la.Dot(r, r)
-		ld := la.Dot(w, r)
+		red[0] = la.Dot(r, r)
+		red[1] = la.Dot(w, r)
 		c.Compute(la.FlopsDot(n) * 2)
-		req := c.IAllreduce([]float64{lg, ld}, comm.OpSum)
+		c.StartAllreduce(red, comm.OpSum, &req)
 		st.Reductions++
 
 		// Overlapped SpMV: m = A·w while the reduction is in flight.
@@ -168,11 +174,10 @@ func DistPipelinedCG(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistOp
 			return x, st, err
 		}
 
-		res, err := req.Wait()
-		if err != nil {
+		if _, err := req.WaitInto(red); err != nil {
 			return x, st, err
 		}
-		gamma, delta := res[0], res[1]
+		gamma, delta := red[0], red[1]
 
 		relres := math.Sqrt(gamma) / bnorm
 		st.Residuals = append(st.Residuals, relres)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/la"
+	"repro/internal/mem"
 )
 
 // DistPrecon is a distributed (right) preconditioner: Solve returns
@@ -39,18 +40,21 @@ func DistFGMRES(c *comm.Comm, a dist.Operator, precon DistPrecon, b, x0 []float6
 		return x, st, nil
 	}
 	m := opts.Restart
-	v := make([][]float64, m+1)
-	z := make([][]float64, m)
+	ws := mem.NewWorkspace((m + 3) * n)
+	v := ws.Mat(m+1, n)
+	z := make([][]float64, m) // views onto the preconditioner's results
+	w := ws.Vec(n)
+	r := ws.Vec(n)
 	h := la.NewDense(m+1, m)
 	g := make([]float64, m+1)
 	rot := make([]la.Givens, m)
-	w := make([]float64, n)
+	y := make([]float64, m)
+	st.Residuals = makeResidualHistory(opts.MaxIter)
 
 	for st.Iterations < opts.MaxIter && !st.Converged {
 		if err := a.Apply(x, w); err != nil {
 			return x, st, err
 		}
-		r := make([]float64, n)
 		for i := range r {
 			r[i] = b[i] - w[i]
 		}
@@ -65,7 +69,7 @@ func DistFGMRES(c *comm.Comm, a dist.Operator, precon DistPrecon, b, x0 []float6
 			st.FinalResidual = beta / bnorm
 			break
 		}
-		v[0] = la.Copy(r)
+		copy(v[0], r)
 		dist.Scal(c, 1/beta, v[0])
 		for i := range g {
 			g[i] = 0
@@ -102,7 +106,7 @@ func DistFGMRES(c *comm.Comm, a dist.Operator, precon DistPrecon, b, x0 []float6
 			}
 			h.Set(j+1, j, hj1)
 			if hj1 > 0 {
-				v[j+1] = la.Copy(w)
+				copy(v[j+1], w)
 				dist.Scal(c, 1/hj1, v[j+1])
 			}
 			for i := 0; i < j; i++ {
@@ -126,7 +130,7 @@ func DistFGMRES(c *comm.Comm, a dist.Operator, precon DistPrecon, b, x0 []float6
 			}
 		}
 		if j > 0 {
-			y := solveHessenberg(h, g, j)
+			solveHessenbergInto(h, g, j, y[:j])
 			for i := 0; i < j; i++ {
 				dist.Axpy(c, y[i], z[i], x)
 			}

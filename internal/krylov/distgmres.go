@@ -6,6 +6,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/la"
+	"repro/internal/mem"
 )
 
 // DistGMRESOptions configures the distributed GMRES variants.
@@ -52,18 +53,25 @@ func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOpt
 		st.Converged = true
 		return x, st, nil
 	}
+	// The whole solve footprint — basis, Hessenberg system, scratch and
+	// residual history — is allocated here; the restart cycles and the
+	// Arnoldi iterations inside them then allocate nothing (the halo
+	// exchange and reductions recycle buffers world-side too).
 	m := opts.Restart
-	v := make([][]float64, m+1)
+	ws := mem.NewWorkspace((m + 3) * n)
+	v := ws.Mat(m+1, n)
+	w := ws.Vec(n)
+	r := ws.Vec(n)
 	h := la.NewDense(m+1, m)
 	g := make([]float64, m+1)
 	rot := make([]la.Givens, m)
-	w := make([]float64, n)
+	y := make([]float64, m)
+	st.Residuals = makeResidualHistory(opts.MaxIter)
 
 	for st.Iterations < opts.MaxIter && !st.Converged {
 		if err := a.Apply(x, w); err != nil {
 			return x, st, err
 		}
-		r := make([]float64, n)
 		for i := range r {
 			r[i] = b[i] - w[i]
 		}
@@ -78,7 +86,7 @@ func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOpt
 			st.FinalResidual = beta / bnorm
 			break
 		}
-		v[0] = la.Copy(r)
+		copy(v[0], r)
 		dist.Scal(c, 1/beta, v[0])
 		for i := range g {
 			g[i] = 0
@@ -108,7 +116,7 @@ func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOpt
 			st.Reductions++
 			h.Set(j+1, j, hj1)
 			if hj1 > 0 {
-				v[j+1] = la.Copy(w)
+				copy(v[j+1], w)
 				dist.Scal(c, 1/hj1, v[j+1])
 			}
 			for i := 0; i < j; i++ {
@@ -132,7 +140,7 @@ func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOpt
 			}
 		}
 		if j > 0 {
-			y := solveHessenberg(h, g, j)
+			solveHessenbergInto(h, g, j, y[:j])
 			for i := 0; i < j; i++ {
 				dist.Axpy(c, y[i], v[i], x)
 			}
@@ -189,12 +197,14 @@ func DistP1GMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESO
 	// that point. The safeguard is cycle-level: verify the claimed
 	// residual against a true one, keep the best iterate seen, and stop
 	// if restarts stop making progress.
+	ws := newP1Workspace(n, m, opts.MaxIter)
+	st.Residuals = ws.residuals[:0]
 	w := make([]float64, n)
 	bestX := la.Copy(x)
 	bestRes := math.Inf(1)
 	stalls := 0
 	for st.Iterations < opts.MaxIter && !st.Converged {
-		if _, err := p1Cycle(c, a, b, x, bnorm, m, opts, &st); err != nil {
+		if _, err := p1Cycle(c, a, b, x, bnorm, m, opts, &st, ws); err != nil {
 			return x, st, err
 		}
 		st.Restarts++
@@ -235,14 +245,50 @@ func DistP1GMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESO
 	return x, st, nil
 }
 
+// p1Workspace holds one DistP1GMRES solve's scratch: the two bases, the
+// Hessenberg system, the merged-reduction buffers and the residual
+// history, allocated once so restart cycles and iterations are
+// allocation-free (together with the recycled world-side collective
+// buffers).
+type p1Workspace struct {
+	v, z      [][]float64
+	h         *la.Dense
+	g         []float64
+	rot       []la.Givens
+	q, w, r   []float64
+	locals    []float64 // posted local dots, length ≤ m+2
+	red       []float64 // completed reduction landing buffer
+	y         []float64
+	req       comm.Request
+	residuals []float64
+}
+
+func newP1Workspace(n, m, maxIter int) *p1Workspace {
+	arena := mem.NewWorkspace((2*m + 6) * n)
+	return &p1Workspace{
+		v:         arena.Mat(m+1, n),
+		z:         arena.Mat(m+2, n),
+		h:         la.NewDense(m+1, m),
+		g:         make([]float64, m+1),
+		rot:       make([]la.Givens, m),
+		q:         arena.Vec(n),
+		w:         arena.Vec(n),
+		r:         arena.Vec(n),
+		locals:    make([]float64, m+2),
+		red:       make([]float64, m+2),
+		y:         make([]float64, m),
+		residuals: makeResidualHistory(maxIter),
+	}
+}
+
 // p1Cycle runs one restart cycle of p1-GMRES, updating x in place.
-func p1Cycle(c *comm.Comm, a dist.Operator, b, x []float64, bnorm float64, m int, opts DistGMRESOptions, st *Stats) (bool, error) {
+func p1Cycle(c *comm.Comm, a dist.Operator, b, x []float64, bnorm float64, m int, opts DistGMRESOptions, st *Stats, ws *p1Workspace) (bool, error) {
 	n := a.LocalLen()
-	w := make([]float64, n)
+	w := ws.w
 	if err := a.Apply(x, w); err != nil {
 		return false, err
 	}
-	r := make([]float64, n)
+	r := ws.r
 	for i := range r {
 		r[i] = b[i] - w[i]
 	}
@@ -257,18 +303,21 @@ func p1Cycle(c *comm.Comm, a dist.Operator, b, x []float64, bnorm float64, m int
 		return true, nil
 	}
 
-	v := make([][]float64, m+1) // orthonormal basis (lags by one)
-	z := make([][]float64, m+2) // shifted basis, z[j+1] = A·v[j]
-	h := la.NewDense(m+1, m)
-	g := make([]float64, m+1)
-	rot := make([]la.Givens, m)
+	v := ws.v // orthonormal basis (lags by one)
+	z := ws.z // shifted basis, z[j+1] = A·v[j]
+	h := ws.h
+	g := ws.g
+	rot := ws.rot
+	for i := range g {
+		g[i] = 0
+	}
 	g[0] = beta
-	v[0] = la.Copy(r)
+	copy(v[0], r)
 	dist.Scal(c, 1/beta, v[0])
-	z[0] = la.Copy(v[0])
+	copy(z[0], v[0])
 
 	var pending *comm.Request // reduction for z[i]'s coefficients
-	q := make([]float64, n)
+	q := ws.q
 	cols := 0 // completed Hessenberg columns
 
 	maxI := m
@@ -283,10 +332,11 @@ func p1Cycle(c *comm.Comm, a dist.Operator, b, x []float64, bnorm float64, m int
 		if i > 0 {
 			// Complete the reduction posted for z[i] last iteration:
 			// dots = [(z_i,v_0)..(z_i,v_{i-1}), ‖z_i‖²].
-			res, err := pending.Wait()
+			nres, err := pending.WaitInto(ws.red)
 			if err != nil {
 				return false, err
 			}
+			res := ws.red[:nres]
 			sum2 := res[i]
 			hcol := res[:i]
 			ss := sum2
@@ -305,8 +355,10 @@ func p1Cycle(c *comm.Comm, a dist.Operator, b, x []float64, bnorm float64, m int
 
 			if !breakdown {
 				// v_i = (z_i − Σ h v_j)/h_ii ; z_{i+1} = (q − Σ h z_{j+1})/h_ii.
-				vi := la.Copy(z[i])
-				zi1 := la.Copy(q)
+				vi := v[i]
+				zi1 := z[i+1]
+				copy(vi, z[i])
+				copy(zi1, q)
 				for j2 := 0; j2 < i; j2++ {
 					la.Axpy(-hcol[j2], v[j2], vi)
 					la.Axpy(-hcol[j2], z[j2+1], zi1)
@@ -314,8 +366,6 @@ func p1Cycle(c *comm.Comm, a dist.Operator, b, x []float64, bnorm float64, m int
 				la.Scal(1/hii, vi)
 				la.Scal(1/hii, zi1)
 				c.Compute(float64(4*i+2) * float64(n))
-				v[i] = vi
-				z[i+1] = zi1
 			}
 
 			// Givens update of column i−1. On breakdown the column (with
@@ -349,15 +399,16 @@ func p1Cycle(c *comm.Comm, a dist.Operator, b, x []float64, bnorm float64, m int
 			// z[i+1] = q for i==... no: z[i+1] is set above for i>0; for
 			// i==0 the shifted vector is exactly q = A·v_0.
 			if i == 0 {
-				z[1] = la.Copy(q)
+				copy(z[1], q)
 			}
-			locals := make([]float64, i+2)
+			locals := ws.locals[:i+2]
 			for j2 := 0; j2 <= i; j2++ {
 				locals[j2] = la.Dot(z[i+1], v[j2])
 			}
 			locals[i+1] = la.Dot(z[i+1], z[i+1])
 			c.Compute(la.FlopsDot(n) * float64(i+2))
-			pending = c.IAllreduce(locals, comm.OpSum)
+			c.StartAllreduce(locals, comm.OpSum, &ws.req)
+			pending = &ws.req
 			st.Reductions++
 		} else {
 			break
@@ -365,7 +416,8 @@ func p1Cycle(c *comm.Comm, a dist.Operator, b, x []float64, bnorm float64, m int
 	}
 
 	if cols > 0 {
-		y := solveHessenberg(h, g, cols)
+		y := ws.y[:cols]
+		solveHessenbergInto(h, g, cols, y)
 		for i := 0; i < cols; i++ {
 			dist.Axpy(c, y[i], v[i], x)
 		}

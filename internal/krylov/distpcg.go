@@ -87,6 +87,7 @@ func DistPCG(c *comm.Comm, a dist.Operator, m LocalPrecon, b, x0 []float64, opts
 		return x, st, err
 	}
 	st.Reductions++
+	st.Residuals = makeResidualHistory(opts.MaxIter)
 
 	for st.Iterations < opts.MaxIter {
 		rr, err := dist.Dot(c, r, r)
@@ -194,13 +195,16 @@ func DistPipelinedPCG(c *comm.Comm, a dist.Operator, m LocalPrecon, b, x0 []floa
 		nn = make([]float64, n) // n_i = A m_i
 	)
 	var alpha, gammaOld float64
+	var req comm.Request
+	red := make([]float64, 3)
+	st.Residuals = makeResidualHistory(opts.MaxIter)
 
 	for st.Iterations < opts.MaxIter {
-		lg := la.Dot(r, u)
-		ld := la.Dot(w, u)
-		lr := la.Dot(r, r)
+		red[0] = la.Dot(r, u)
+		red[1] = la.Dot(w, u)
+		red[2] = la.Dot(r, r)
 		c.Compute(la.FlopsDot(n) * 3)
-		req := c.IAllreduce([]float64{lg, ld, lr}, comm.OpSum)
+		c.StartAllreduce(red, comm.OpSum, &req)
 		st.Reductions++
 
 		// Overlap: preconditioner + SpMV while the reduction flies.
@@ -210,11 +214,10 @@ func DistPipelinedPCG(c *comm.Comm, a dist.Operator, m LocalPrecon, b, x0 []floa
 			return x, st, err
 		}
 
-		res, err := req.Wait()
-		if err != nil {
+		if _, err := req.WaitInto(red); err != nil {
 			return x, st, err
 		}
-		gamma, delta, rr := res[0], res[1], res[2]
+		gamma, delta, rr := red[0], red[1], red[2]
 
 		relres := math.Sqrt(rr) / bnorm
 		st.Residuals = append(st.Residuals, relres)

@@ -24,6 +24,12 @@ func (f *FaultyOp) Apply(x []float64) []float64 {
 	return y
 }
 
+// ApplyInto implements InPlaceOp with the same injection semantics.
+func (f *FaultyOp) ApplyInto(x, y []float64) {
+	applyOp(f.Inner, x, y)
+	f.Injector.Pass(y)
+}
+
 // Size implements Op.
 func (f *FaultyOp) Size() int { return f.Inner.Size() }
 

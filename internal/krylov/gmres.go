@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/la"
+	"repro/internal/mem"
 )
 
 // GMRESOptions configures the serial GMRES(m) solver.
@@ -44,6 +45,58 @@ func (o *GMRESOptions) defaults() {
 	}
 }
 
+// GMRESWorkspace holds every scratch vector a GMRES(m) solve needs, so
+// repeated solves — and every iteration within a solve — allocate
+// nothing. The vectors are carved from a mem.Workspace, i.e. reliable
+// storage in the paper's selective-reliability model: the Krylov basis
+// and Hessenberg system are exactly the solver-critical data §II-D says
+// must be reliable. Reuse a workspace only with the same problem size
+// and options it was built for; a workspace is not safe for concurrent
+// solves, and the Stats.Residuals slice returned by GMRESInto aliases it
+// (copy the history before the next solve if you keep it).
+type GMRESWorkspace struct {
+	n, m, maxIter int
+
+	vstore [][]float64 // m+1 basis slots (stable storage)
+	zstore [][]float64 // m preconditioned-direction slots (FGMRES only)
+	v      [][]float64 // active basis views; v[j] nil until committed
+	z      [][]float64
+	h      *la.Dense
+	g, y   []float64
+	rot    []la.Givens
+	w, r   []float64
+	res    []float64 // residual-history backing array (cap bounded, see makeResidualHistory)
+}
+
+// NewGMRESWorkspace sizes a workspace for n-dimensional solves under
+// opts (Restart, MaxIter and Precon-presence determine the footprint).
+func NewGMRESWorkspace(n int, opts GMRESOptions) *GMRESWorkspace {
+	opts.defaults()
+	m := opts.Restart
+	elems := (m+1)*n + 2*n // basis + w + r
+	if opts.Precon != nil {
+		elems += m * n
+	}
+	arena := mem.NewWorkspace(elems)
+	ws := &GMRESWorkspace{
+		n: n, m: m, maxIter: opts.MaxIter,
+		vstore: arena.Mat(m+1, n),
+		v:      make([][]float64, m+1),
+		h:      la.NewDense(m+1, m),
+		g:      make([]float64, m+1),
+		y:      make([]float64, m),
+		rot:    make([]la.Givens, m),
+		w:      arena.Vec(n),
+		r:      arena.Vec(n),
+		res:    makeResidualHistory(opts.MaxIter),
+	}
+	if opts.Precon != nil {
+		ws.zstore = arena.Mat(m, n)
+		ws.z = make([][]float64, m)
+	}
+	return ws
+}
+
 // GMRES solves A·x = b with restarted GMRES(m) using modified
 // Gram–Schmidt Arnoldi and Givens rotations, starting from x0 (nil for
 // zero). With Precon set it is flexible GMRES. It returns the solution
@@ -52,50 +105,72 @@ func (o *GMRESOptions) defaults() {
 func GMRES(a Op, b []float64, x0 []float64, opts GMRESOptions) ([]float64, Stats, error) {
 	opts.defaults()
 	n := a.Size()
-	la.CheckLen("b", b, n)
 	x := make([]float64, n)
 	if x0 != nil {
 		la.CheckLen("x0", x0, n)
 		copy(x, x0)
 	}
+	la.CheckLen("b", b, n)
+	st, err := GMRESInto(a, b, x, NewGMRESWorkspace(n, opts), opts)
+	return x, st, err
+}
+
+// GMRESInto is GMRES over caller-owned storage: x holds the initial
+// guess on entry and the solution on return, and ws supplies every
+// scratch vector, so a warmed-up solve performs zero allocations when
+// the operator implements InPlaceOp. ws must have been built by
+// NewGMRESWorkspace with the same n and opts.
+func GMRESInto(a Op, b, x []float64, ws *GMRESWorkspace, opts GMRESOptions) (Stats, error) {
+	opts.defaults()
+	n := a.Size()
+	la.CheckLen("b", b, n)
+	la.CheckLen("x", x, n)
+	if ws.n != n || ws.m < opts.Restart {
+		panic("krylov: GMRES workspace sized for a different problem")
+	}
+	if opts.Precon != nil && ws.zstore == nil {
+		panic("krylov: GMRES workspace built without preconditioner slots")
+	}
 	var st Stats
+	st.Residuals = ws.res[:0]
 
 	bnorm := la.Nrm2(b)
 	if bnorm == 0 {
 		st.Converged = true
-		return x, st, nil
+		return st, nil
 	}
 	m := opts.Restart
-
-	// Workspace reused across restarts.
-	v := make([][]float64, m+1) // Krylov basis
-	var z [][]float64           // FGMRES: preconditioned directions
-	if opts.Precon != nil {
-		z = make([][]float64, m)
-	}
-	h := la.NewDense(m+1, m)  // Hessenberg
-	g := make([]float64, m+1) // rotated RHS of the LS problem
-	rot := make([]la.Givens, m)
+	v, h, g, rot := ws.v, ws.h, ws.g, ws.rot
 
 	for st.Iterations < opts.MaxIter {
 		// Residual for this cycle.
-		r := la.Sub(b, a.Apply(x))
+		applyOp(a, x, ws.w)
+		r := ws.r
+		for i := range r {
+			r[i] = b[i] - ws.w[i]
+		}
 		beta := la.Nrm2(r)
 		if math.IsNaN(beta) || math.IsInf(beta, 0) {
 			// The iterate is corrupt beyond repair (possible when the
 			// operator itself is faulty, e.g. an SRP inner solve): stop
 			// and report non-convergence; the caller sanitises.
 			st.FinalResidual = math.Inf(1)
-			return x, st, nil
+			return st, nil
 		}
 		relres := beta / bnorm
 		st.FinalResidual = relres
 		if relres <= opts.Tol {
 			st.Converged = true
-			return x, st, nil
+			return st, nil
 		}
-		v[0] = la.Copy(r)
-		la.Scal(1/beta, v[0])
+		// Fresh cycle: only v[0] is committed (nil slots preserve the
+		// happy-breakdown signal the Arnoldi hooks rely on).
+		for i := range v {
+			v[i] = nil
+		}
+		copy(ws.vstore[0], r)
+		la.Scal(1/beta, ws.vstore[0])
+		v[0] = ws.vstore[0]
 		for i := range g {
 			g[i] = 0
 		}
@@ -105,13 +180,20 @@ func GMRES(a Op, b []float64, x0 []float64, opts GMRESOptions) ([]float64, Stats
 		for ; j < m && st.Iterations < opts.MaxIter; j++ {
 			var dir []float64
 			if opts.Precon != nil {
-				zj := opts.Precon.Solve(v[j])
-				z[j] = zj
+				var zj []float64
+				if ip, ok := opts.Precon.(InPlacePreconditioner); ok {
+					zj = ws.zstore[j]
+					ip.SolveInto(v[j], zj)
+				} else {
+					zj = opts.Precon.Solve(v[j])
+				}
+				ws.z[j] = zj
 				dir = zj
 			} else {
 				dir = v[j]
 			}
-			w := a.Apply(dir)
+			w := ws.w
+			applyOp(a, dir, w)
 			// Modified Gram–Schmidt.
 			for i := 0; i <= j; i++ {
 				hij := la.Dot(w, v[i])
@@ -128,8 +210,9 @@ func GMRES(a Op, b []float64, x0 []float64, opts GMRESOptions) ([]float64, Stats
 			}
 			h.Set(j+1, j, hj1)
 			if hj1 > 0 {
-				v[j+1] = la.Copy(w)
-				la.Scal(1/hj1, v[j+1])
+				copy(ws.vstore[j+1], w)
+				la.Scal(1/hj1, ws.vstore[j+1])
+				v[j+1] = ws.vstore[j+1]
 			}
 
 			// Apply previous rotations to the new column, then create the
@@ -159,12 +242,12 @@ func GMRES(a Op, b []float64, x0 []float64, opts GMRESOptions) ([]float64, Stats
 						j = 0
 						break
 					}
-					return x, st, err
+					return st, err
 				}
 			}
 			if opts.Hook != nil {
 				if err := opts.Hook(st.Iterations, relres); err != nil {
-					return x, st, err
+					return st, err
 				}
 			}
 			if relres <= opts.Tol || hj1 == 0 {
@@ -175,10 +258,11 @@ func GMRES(a Op, b []float64, x0 []float64, opts GMRESOptions) ([]float64, Stats
 
 		// Solve the j×j triangular system and update x.
 		if j > 0 {
-			y := solveHessenberg(h, g, j)
+			y := ws.y[:j]
+			solveHessenbergInto(h, g, j, y)
 			for i := 0; i < j; i++ {
 				if opts.Precon != nil {
-					la.Axpy(y[i], z[i], x)
+					la.Axpy(y[i], ws.z[i], x)
 				} else {
 					la.Axpy(y[i], v[i], x)
 				}
@@ -188,21 +272,24 @@ func GMRES(a Op, b []float64, x0 []float64, opts GMRESOptions) ([]float64, Stats
 		if st.FinalResidual <= opts.Tol {
 			// Confirm with a true residual (protects against a corrupted
 			// Givens recurrence claiming false convergence).
-			tr := la.Nrm2(la.Sub(b, a.Apply(x))) / bnorm
+			applyOp(a, x, ws.w)
+			for i := range ws.r {
+				ws.r[i] = b[i] - ws.w[i]
+			}
+			tr := la.Nrm2(ws.r) / bnorm
 			st.FinalResidual = tr
 			if tr <= 10*opts.Tol {
 				st.Converged = true
-				return x, st, nil
+				return st, nil
 			}
 		}
 	}
-	return x, st, nil
+	return st, nil
 }
 
-// solveHessenberg back-substitutes the rotated leading j×j triangle of h
-// against g.
-func solveHessenberg(h *la.Dense, g []float64, j int) []float64 {
-	y := make([]float64, j)
+// solveHessenbergInto back-substitutes the rotated leading j×j triangle
+// of h against g into y (length j).
+func solveHessenbergInto(h *la.Dense, g []float64, j int, y []float64) {
 	for i := j - 1; i >= 0; i-- {
 		s := g[i]
 		for k := i + 1; k < j; k++ {
@@ -210,5 +297,11 @@ func solveHessenberg(h *la.Dense, g []float64, j int) []float64 {
 		}
 		y[i] = s / h.At(i, i)
 	}
+}
+
+// solveHessenberg is solveHessenbergInto with a fresh result slice.
+func solveHessenberg(h *la.Dense, g []float64, j int) []float64 {
+	y := make([]float64, j)
+	solveHessenbergInto(h, g, j, y)
 	return y
 }

@@ -25,6 +25,43 @@ type Op interface {
 	NormInf() float64
 }
 
+// InPlaceOp is the optional allocation-free extension of Op: ApplyInto
+// computes y = A·x into a caller-provided buffer. Solvers detect it and
+// route every product through reusable workspace vectors, which is what
+// lets a warmed-up GMRES iteration run at 0 allocs/op. Implementations
+// must not retain x or y.
+type InPlaceOp interface {
+	ApplyInto(x, y []float64)
+}
+
+// ApplyOpInto computes y = A·x through ApplyInto when the operator
+// supports it, falling back to a copy of the allocating Apply. Operator
+// wrappers in other packages (skp.CheckedOp) share this dispatch so the
+// fallback contract has one home.
+func ApplyOpInto(a Op, x, y []float64) {
+	if ip, ok := a.(InPlaceOp); ok {
+		ip.ApplyInto(x, y)
+		return
+	}
+	copy(y, a.Apply(x))
+}
+
+// applyOp is the package-internal shorthand for ApplyOpInto.
+func applyOp(a Op, x, y []float64) { ApplyOpInto(a, x, y) }
+
+// residualPrealloc bounds the upfront capacity of a Stats.Residuals
+// history: solvers preallocate min(MaxIter, this) so the iteration loop
+// is allocation-free for every realistic solve, while an "effectively
+// unbounded" MaxIter (1<<30) does not commit gigabytes before the first
+// iteration — beyond the bound the history grows by normal appends.
+const residualPrealloc = 4096
+
+// makeResidualHistory returns the preallocated residual history for a
+// solve capped at maxIter iterations.
+func makeResidualHistory(maxIter int) []float64 {
+	return make([]float64, 0, min(maxIter, residualPrealloc))
+}
+
 // CSROp adapts a la.CSR to Op.
 type CSROp struct {
 	A *la.CSR
@@ -38,6 +75,9 @@ func NewCSROp(a *la.CSR) *CSROp { return &CSROp{A: a} }
 
 // Apply implements Op.
 func (o *CSROp) Apply(x []float64) []float64 { return o.A.MatVec(x, nil) }
+
+// ApplyInto implements InPlaceOp.
+func (o *CSROp) ApplyInto(x, y []float64) { o.A.MatVec(x, y) }
 
 // Size implements Op.
 func (o *CSROp) Size() int { return o.A.Rows }
@@ -59,11 +99,20 @@ type Preconditioner interface {
 	Solve(r []float64) []float64
 }
 
+// InPlacePreconditioner is the optional allocation-free extension of
+// Preconditioner, mirroring InPlaceOp.
+type InPlacePreconditioner interface {
+	SolveInto(r, z []float64)
+}
+
 // IdentityPrecon is the no-op preconditioner.
 type IdentityPrecon struct{}
 
 // Solve returns a copy of r.
 func (IdentityPrecon) Solve(r []float64) []float64 { return la.Copy(r) }
+
+// SolveInto implements InPlacePreconditioner.
+func (IdentityPrecon) SolveInto(r, z []float64) { copy(z, r) }
 
 // Stats records a solve's trajectory for the experiment tables.
 type Stats struct {

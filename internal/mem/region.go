@@ -169,6 +169,19 @@ func vote(a, b, c float64) float64 {
 	return math.Float64frombits((ab & bb) | (ab & cb) | (bb & cb))
 }
 
+// Raw returns direct slice access to a Reliable region's storage,
+// bypassing the per-access cost accounting. This is the hot-path
+// contract of selective reliability: data *declared* reliable needs no
+// per-element instrumentation, so solver workspaces carved from a
+// Reliable region run at raw slice speed. It panics for Unreliable/TMR
+// regions, whose reliability semantics live in Load/Store.
+func (r *Region) Raw() []float64 {
+	if r.level != Reliable {
+		panic("mem: Raw access requires a Reliable region")
+	}
+	return r.data
+}
+
 // CopyIn bulk-stores src starting at element 0.
 func (r *Region) CopyIn(src []float64) {
 	for i, x := range src {

@@ -62,10 +62,21 @@ func NewCheckedOp(suspect, trusted krylov.Op, policy Policy) *CheckedOp {
 
 // Apply implements krylov.Op with validation and optional correction.
 func (o *CheckedOp) Apply(x []float64) []float64 {
+	y := make([]float64, o.Suspect.Size())
+	o.ApplyInto(x, y)
+	return y
+}
+
+// ApplyInto implements krylov.InPlaceOp: the suspect product lands in y,
+// is validated, and under the Correct policy a detection recomputes y
+// through the trusted path. The skeptical wrapper therefore adds zero
+// allocations to a clean apply — the checks themselves are pure
+// reductions over x and y.
+func (o *CheckedOp) ApplyInto(x, y []float64) {
 	o.Stats.Applies++
-	y := o.Suspect.Apply(x)
+	krylov.ApplyOpInto(o.Suspect, x, y)
 	if o.CheckEvery > 1 && o.Stats.Applies%o.CheckEvery != 0 {
-		return y
+		return
 	}
 	for _, chk := range o.Checks {
 		if err := chk.Validate(x, y); err != nil {
@@ -75,12 +86,11 @@ func (o *CheckedOp) Apply(x []float64) []float64 {
 			}
 			if o.Policy == Correct {
 				o.Stats.Corrections++
-				return o.Trusted.Apply(x)
+				krylov.ApplyOpInto(o.Trusted, x, y)
 			}
-			return y
+			return
 		}
 	}
-	return y
 }
 
 // Size implements krylov.Op.

@@ -65,15 +65,14 @@ func (s *DistInner) Solve(c *comm.Comm, r []float64) ([]float64, error) {
 	// Local sanitisation must reach a *global* consensus: if any rank's
 	// piece is garbage, every rank must discard, or the preconditioner
 	// application would be inconsistent across ranks.
-	bad := 0.0
+	var agg [3]float64
 	if la.HasNonFinite(z) {
-		bad = 1
+		agg[0] = 1
 	}
-	zn := la.Dot(z, z)
-	rn := la.Dot(r, r)
+	agg[1] = la.Dot(z, z)
+	agg[2] = la.Dot(r, r)
 	c.Compute(la.FlopsDot(len(z)) * 2)
-	agg, err := c.Allreduce([]float64{bad, zn, rn}, comm.OpSum)
-	if err != nil {
+	if err := c.AllreduceInto(agg[:], comm.OpSum, agg[:]); err != nil {
 		return nil, err
 	}
 	if agg[0] > 0 || (agg[2] > 0 && (agg[1] == 0 || agg[1] > 1e16*agg[2])) {
