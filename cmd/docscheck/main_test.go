@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepositoryIsClean makes the docs gate part of the tier-1 suite:
+// the repository's own markdown links and internal/precond doc comments
+// must pass the same checks CI runs.
+func TestRepositoryIsClean(t *testing.T) {
+	problems, err := run("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestBrokenLinkIsCaught exercises the link checker's failure path on a
+// synthetic file tree.
+func TestBrokenLinkIsCaught(t *testing.T) {
+	dir := t.TempDir()
+	md := filepath.Join(dir, "doc.md")
+	content := "[ok](./doc.md) [web](https://example.com) [anchor](#x) [bad](missing/file.md)\n"
+	if err := os.WriteFile(md, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := checkLinks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing/file.md") {
+		t.Errorf("want exactly the one broken link flagged, got %v", problems)
+	}
+}
+
+// TestUndocumentedExportIsCaught exercises the godoc checker's failure
+// path on a synthetic package.
+func TestUndocumentedExportIsCaught(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+// Documented is fine.
+func Documented() {}
+
+func Naked() {}
+
+type Bare struct{}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := checkExportedDocs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Errorf("want 2 problems (Naked, Bare), got %v", problems)
+	}
+}

@@ -1,10 +1,15 @@
 // Command faultsim runs the LFLR heat equation with a scripted process
 // kill and prints the recovery trace: the concrete §II-C/§III-C scenario
-// of the paper, end to end.
+// of the paper, end to end. Run `faultsim -h` for the full flag set —
+// the help text is generated from the flags the program actually parses
+// (and a test pins every usage snippet in this comment and the README
+// against them).
 //
-// Usage:
+// The three scenarios:
 //
 //	faultsim -ranks 8 -steps 400 -kill-rank 3 -kill-step 237 -persist 20
+//	faultsim -implicit -coarsen 4
+//	faultsim -sdc-bit 52 -guard
 package main
 
 import (
@@ -18,39 +23,79 @@ import (
 	"repro/internal/machine"
 )
 
+// options carries every flag faultsim parses; newFlags is the single
+// source of truth the help text and the usage-snippet test derive from.
+type options struct {
+	ranks    int
+	nx, ny   int
+	steps    int
+	persist  int
+	killRank int
+	killStep int
+	implicit bool
+	coarsen  int
+	sdcBit   int
+	sdcRank  int
+	sdcStep  int
+	guard    bool
+	seed     uint64
+}
+
+// newFlags builds the flag set. Keeping construction in one function is
+// what lets main_test.go verify that every documented invocation parses.
+func newFlags() (*flag.FlagSet, *options) {
+	o := &options{}
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
+	fs.IntVar(&o.ranks, "ranks", 8, "number of simulated MPI ranks")
+	fs.IntVar(&o.nx, "nx", 48, "grid width")
+	fs.IntVar(&o.ny, "ny", 64, "grid height")
+	fs.IntVar(&o.steps, "steps", 400, "time steps")
+	fs.IntVar(&o.persist, "persist", 20, "persist state every k steps")
+	fs.IntVar(&o.killRank, "kill-rank", 3, "rank to kill (-1 for none)")
+	fs.IntVar(&o.killStep, "kill-step", 237, "step at which the rank dies")
+	fs.BoolVar(&o.implicit, "implicit", false, "use the backward-Euler solver with coarse-replica recovery")
+	fs.IntVar(&o.coarsen, "coarsen", 2, "implicit mode: replica coarsening factor")
+	fs.IntVar(&o.sdcBit, "sdc-bit", -1, "silent-corruption mode: flip this bit of one field value (-1 for none)")
+	fs.IntVar(&o.sdcRank, "sdc-rank", 2, "silent-corruption mode: victim rank")
+	fs.IntVar(&o.sdcStep, "sdc-step", 200, "silent-corruption mode: step of the flip")
+	fs.BoolVar(&o.guard, "guard", true, "arm the skeptical energy-conservation guard (explicit mode)")
+	fs.Uint64Var(&o.seed, "seed", 1, "world seed")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: faultsim [flags]\n\n")
+		fmt.Fprintf(fs.Output(), "Runs the LFLR heat equation under a scripted process kill (default),\n")
+		fmt.Fprintf(fs.Output(), "coarse-replica implicit recovery (-implicit), or a silent bit flip\n")
+		fmt.Fprintf(fs.Output(), "caught by the energy guard (-sdc-bit).\n\n")
+		fs.PrintDefaults()
+	}
+	return fs, o
+}
+
 func main() {
-	ranks := flag.Int("ranks", 8, "number of simulated MPI ranks")
-	nx := flag.Int("nx", 48, "grid width")
-	ny := flag.Int("ny", 64, "grid height")
-	steps := flag.Int("steps", 400, "time steps")
-	persist := flag.Int("persist", 20, "persist state every k steps")
-	killRank := flag.Int("kill-rank", 3, "rank to kill (-1 for none)")
-	killStep := flag.Int("kill-step", 237, "step at which the rank dies")
-	implicit := flag.Bool("implicit", false, "use the backward-Euler solver with coarse-replica recovery")
-	coarsen := flag.Int("coarsen", 2, "implicit mode: replica coarsening factor")
-	sdcBit := flag.Int("sdc-bit", -1, "silent-corruption mode: flip this bit of one field value (-1 for none)")
-	sdcRank := flag.Int("sdc-rank", 2, "silent-corruption mode: victim rank")
-	sdcStep := flag.Int("sdc-step", 200, "silent-corruption mode: step of the flip")
-	guard := flag.Bool("guard", true, "arm the skeptical energy-conservation guard (explicit mode)")
-	seed := flag.Uint64("seed", 1, "world seed")
-	flag.Parse()
+	fs, o := newFlags()
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
 
-	cfg := comm.Config{Ranks: *ranks, Cost: machine.DefaultCostModel(), Seed: *seed}
+	cfg := comm.Config{Ranks: o.ranks, Cost: machine.DefaultCostModel(), Seed: o.seed}
 
-	if *implicit {
-		runImplicit(cfg, *nx, *ny, *steps, *coarsen, *killRank, *killStep)
+	if o.implicit {
+		runImplicit(cfg, o.nx, o.ny, o.steps, o.coarsen, o.killRank, o.killStep)
 		return
 	}
 
 	var killer lflr.Killer
-	if *killRank >= 0 {
-		killer = &fault.StepKiller{Rank: *killRank, Step: *killStep}
+	if o.killRank >= 0 {
+		killer = &fault.StepKiller{Rank: o.killRank, Step: o.killStep}
 	}
 	var sdc *lflr.SDCEvent
-	if *sdcBit >= 0 {
-		sdc = &lflr.SDCEvent{Rank: *sdcRank, Step: *sdcStep, Index: 7, Bit: *sdcBit}
+	if o.sdcBit >= 0 {
+		sdc = &lflr.SDCEvent{Rank: o.sdcRank, Step: o.sdcStep, Index: 7, Bit: o.sdcBit}
 	}
-	base := lflr.HeatConfig{Nx: *nx, Ny: *ny, Nu: 0.25, Steps: *steps, PersistEvery: *persist, EnergyGuard: *guard}
+	base := lflr.HeatConfig{Nx: o.nx, Ny: o.ny, Nu: 0.25, Steps: o.steps, PersistEvery: o.persist, EnergyGuard: o.guard}
 	clean, err := lflr.RunHeat(comm.NewWorld(cfg), lflr.NewStore(), base)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clean run:", err)
@@ -66,12 +111,12 @@ func main() {
 	}
 
 	fmt.Printf("explicit heat %dx%d, %d steps on %d ranks, persist every %d\n",
-		*nx, *ny, *steps, *ranks, *persist)
-	if *killRank >= 0 {
-		fmt.Printf("kill: rank %d at step %d\n", *killRank, *killStep)
+		o.nx, o.ny, o.steps, o.ranks, o.persist)
+	if o.killRank >= 0 {
+		fmt.Printf("kill: rank %d at step %d\n", o.killRank, o.killStep)
 	}
 	if sdc != nil {
-		fmt.Printf("sdc: bit %d of rank %d's field at step %d (guard %v)\n", *sdcBit, *sdcRank, *sdcStep, *guard)
+		fmt.Printf("sdc: bit %d of rank %d's field at step %d (guard %v)\n", o.sdcBit, o.sdcRank, o.sdcStep, o.guard)
 		fmt.Printf("sdc detections:        %d (rollback of %d steps)\n", res.SDCDetections, res.RollbackSteps)
 	}
 	fmt.Printf("recoveries:            %d\n", res.Recoveries)

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/usagecheck"
+)
+
+// TestDocumentedInvocationsParse pins every ftgmres snippet in the doc
+// comment and the repository README against the real flag set.
+func TestDocumentedInvocationsParse(t *testing.T) {
+	sources := []string{"main.go", "../../README.md"}
+	seen := 0
+	for _, path := range sources {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		text := string(data)
+		seen += len(usagecheck.Snippets(text, "ftgmres"))
+		for _, p := range usagecheck.Verify(text, "ftgmres", func() *flag.FlagSet {
+			fs, _ := newFlags()
+			return fs
+		}) {
+			t.Errorf("%s: %s", path, p)
+		}
+	}
+	if seen == 0 {
+		t.Error("no documented ftgmres invocations found — the drift test is checking nothing")
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/comm"
 	"repro/internal/dist"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/krylov"
 	"repro/internal/la"
 	"repro/internal/machine"
+	"repro/internal/precond"
 	"repro/internal/problems"
 	"repro/internal/skp"
 )
@@ -37,6 +39,8 @@ func Kernels() []Kernel {
 		{Name: "kernel/dist-gmres-iter-p4", Setup: distGMRESIterKernel},
 		{Name: "kernel/comm-allreduce-p8", Setup: func() (func(int), func()) { return allreduceKernel(8) }},
 		{Name: "kernel/comm-allreduce-p64", Setup: func() (func(int), func()) { return allreduceKernel(64) }},
+		{Name: "kernel/precond-bjacobi-apply-p4", Setup: bjacobiApplyKernel},
+		{Name: "kernel/precond-chebyshev-apply-p4", Setup: chebyshevApplyKernel},
 	}
 }
 
@@ -236,6 +240,64 @@ func distGMRESIterKernel() (func(n int), func()) {
 				Restart: 30, Tol: 1e-300, MaxIter: n,
 			})
 			return err
+		}
+	})
+}
+
+// bjacobiApplyKernel measures one warmed-up block-Jacobi ILU(0)
+// application at P=4: two triangular sweeps over the local block, zero
+// communication — and, gated by the perf baseline, zero allocs/op.
+func bjacobiApplyKernel() (func(n int), func()) {
+	return spmdKernel(4, func(c *comm.Comm) func(n int) error {
+		a := problems.Poisson2D(64, 64)
+		m := precond.NewBlockJacobiILU(c, a)
+		if err := m.Setup(); err != nil {
+			panic(err)
+		}
+		pt := dist.Partition{N: a.Rows, P: c.Size()}
+		lo, hi := pt.Range(c.Rank())
+		r := make([]float64, hi-lo)
+		for i := range r {
+			r[i] = 1 + float64((lo+i)%7)
+		}
+		z := make([]float64, hi-lo)
+		return func(n int) error {
+			for i := 0; i < n; i++ {
+				if err := m.ApplyInto(r, z); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	})
+}
+
+// chebyshevApplyKernel measures one warmed-up degree-4 Chebyshev
+// polynomial application at P=4: four halo-exchange SpMVs plus the
+// vector recurrence, no reductions, zero allocs/op in steady state.
+func chebyshevApplyKernel() (func(n int), func()) {
+	return spmdKernel(4, func(c *comm.Comm) func(n int) error {
+		a := problems.Poisson2D(64, 64)
+		op := dist.NewCSR(c, a)
+		// Exact spectral bounds of the 5-point Laplacian.
+		lmin := 4 * (1 - math.Cos(math.Pi/65))
+		lmax := 4 * (1 + math.Cos(math.Pi/65))
+		m := precond.NewChebyshev(c, op, lmin, lmax, 4)
+		if err := m.Setup(); err != nil {
+			panic(err)
+		}
+		r := make([]float64, op.LocalLen())
+		for i := range r {
+			r[i] = 1 + float64(i%7)
+		}
+		z := make([]float64, op.LocalLen())
+		return func(n int) error {
+			for i := 0; i < n; i++ {
+				if err := m.ApplyInto(r, z); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
 	})
 }

@@ -53,11 +53,15 @@ func Registry() map[string]Experiment {
 		"F10": {ID: "F10", Run: F10},
 		"A1":  {ID: "A1", Run: A1, Slow: true},
 		"A2":  {ID: "A2", Run: A2, Slow: true},
+		"P1":  {ID: "P1", Run: P1},
+		"P2":  {ID: "P2", Run: P2},
+		"P3":  {ID: "P3", Run: P3, Slow: true},
+		"P4":  {ID: "P4", Run: P4, Slow: true},
 	}
 }
 
-// IDs returns all experiment IDs in display order: figures, tables, then
-// ablations, numerically within each group.
+// IDs returns all experiment IDs in display order: figures, tables,
+// ablations, then preconditioning, numerically within each group.
 func IDs() []string {
 	var ids []string
 	for id := range Registry() {
@@ -69,8 +73,10 @@ func IDs() []string {
 			return 0
 		case 'T':
 			return 1
-		default:
+		case 'A':
 			return 2
+		default:
+			return 3
 		}
 	}
 	num := func(id string) int {

@@ -9,19 +9,22 @@ import (
 	"repro/internal/mem"
 )
 
-// DistPrecon is a distributed (right) preconditioner: Solve returns
-// z ≈ M⁻¹·r for the local pieces. FGMRES allows it to vary between
-// iterations, so a whole inner solve — possibly on unreliable hardware —
-// can serve as M.
-type DistPrecon interface {
-	Solve(c *comm.Comm, r []float64) ([]float64, error)
-}
-
 // DistFGMRES is distributed flexible GMRES(m): right-preconditioned MGS
-// Arnoldi where the preconditioner may change every iteration. It is the
-// reliable outer solver of the distributed FT-GMRES in internal/srp.
-func DistFGMRES(c *comm.Comm, a dist.Operator, precon DistPrecon, b, x0 []float64, opts DistGMRESOptions) ([]float64, Stats, error) {
+// Arnoldi where the preconditioner may change every iteration — which is
+// how a whole (possibly unreliable) inner solve serves as M, making this
+// the reliable outer solver of the distributed FT-GMRES in internal/srp.
+//
+// precon is any DistPreconditioner (internal/precond implementations,
+// srp.DistInner, …); each iteration's application is stored, so unlike
+// DistGMRES's fixed-M mode nothing requires the applications to be
+// consistent with each other. nil falls back to opts.Precon, and if that
+// is nil too the solve is plain DistGMRES mathematics with FGMRES
+// storage.
+func DistFGMRES(c *comm.Comm, a dist.Operator, precon DistPreconditioner, b, x0 []float64, opts DistGMRESOptions) ([]float64, Stats, error) {
 	opts.defaults()
+	if precon == nil {
+		precon = opts.Precon
+	}
 	n := a.LocalLen()
 	la.CheckLen("b", b, n)
 	x := make([]float64, n)
@@ -40,9 +43,19 @@ func DistFGMRES(c *comm.Comm, a dist.Operator, precon DistPrecon, b, x0 []float6
 		return x, st, nil
 	}
 	m := opts.Restart
-	ws := mem.NewWorkspace((m + 3) * n)
+	// Footprint: the Arnoldi basis v, the preconditioned basis z (only
+	// when a preconditioner is present), and two scratch vectors — all
+	// carved once so the iterations are allocation-free.
+	zRows := 0
+	if precon != nil {
+		zRows = m
+	}
+	ws := mem.NewWorkspace((m + 3 + zRows) * n)
 	v := ws.Mat(m+1, n)
-	z := make([][]float64, m) // views onto the preconditioner's results
+	var z [][]float64
+	if precon != nil {
+		z = ws.Mat(m, n)
+	}
 	w := ws.Vec(n)
 	r := ws.Vec(n)
 	h := la.NewDense(m+1, m)
@@ -78,11 +91,13 @@ func DistFGMRES(c *comm.Comm, a dist.Operator, precon DistPrecon, b, x0 []float6
 
 		j := 0
 		for ; j < m && st.Iterations < opts.MaxIter; j++ {
-			zj, err := precon.Solve(c, v[j])
-			if err != nil {
-				return x, st, err
+			zj := v[j]
+			if precon != nil {
+				if err := precon.ApplyInto(v[j], z[j]); err != nil {
+					return x, st, err
+				}
+				zj = z[j]
 			}
-			z[j] = zj
 			if err := a.Apply(zj, w); err != nil {
 				return x, st, err
 			}
@@ -131,8 +146,12 @@ func DistFGMRES(c *comm.Comm, a dist.Operator, precon DistPrecon, b, x0 []float6
 		}
 		if j > 0 {
 			solveHessenbergInto(h, g, j, y[:j])
+			dir := v
+			if precon != nil {
+				dir = z
+			}
 			for i := 0; i < j; i++ {
-				dist.Axpy(c, y[i], z[i], x)
+				dist.Axpy(c, y[i], dir[i], x)
 			}
 		}
 		st.Restarts++

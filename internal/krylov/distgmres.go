@@ -1,6 +1,7 @@
 package krylov
 
 import (
+	"errors"
 	"math"
 
 	"repro/internal/comm"
@@ -14,6 +15,15 @@ type DistGMRESOptions struct {
 	Restart int     // m (default 30)
 	Tol     float64 // relative residual target (default 1e-8)
 	MaxIter int     // total iteration cap (default 300)
+	// Precon, when non-nil, turns DistGMRES into *fixed* right-
+	// preconditioned GMRES: Arnoldi runs on A·M⁻¹ and the update is
+	// x += M⁻¹·(V·y), costing one extra preconditioner application per
+	// restart cycle instead of FGMRES's per-iteration basis storage.
+	// The preconditioner must not change during the solve — use
+	// DistFGMRES when it does. DistP1GMRES's pipelined recurrence is
+	// unpreconditioned and rejects a set Precon with an error rather
+	// than silently dropping it.
+	Precon DistPreconditioner
 }
 
 func (o *DistGMRESOptions) defaults() {
@@ -33,7 +43,8 @@ func (o *DistGMRESOptions) defaults() {
 // all-reduces in iteration j (one per projection, plus the norm), so the
 // synchronisation count grows quadratically over a restart cycle. It is
 // numerically the most stable variant and serves as the latency baseline
-// for p1-GMRES in experiments F2/F3.
+// for p1-GMRES in experiments F2/F3. With opts.Precon set it runs
+// right-preconditioned (see DistGMRESOptions.Precon).
 func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOptions) ([]float64, Stats, error) {
 	opts.defaults()
 	n := a.LocalLen()
@@ -58,10 +69,18 @@ func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOpt
 	// Arnoldi iterations inside them then allocate nothing (the halo
 	// exchange and reductions recycle buffers world-side too).
 	m := opts.Restart
-	ws := mem.NewWorkspace((m + 3) * n)
+	extra := 0
+	if opts.Precon != nil {
+		extra = 1 // the M⁻¹ scratch vector
+	}
+	ws := mem.NewWorkspace((m + 3 + extra) * n)
 	v := ws.Mat(m+1, n)
 	w := ws.Vec(n)
 	r := ws.Vec(n)
+	var z []float64
+	if opts.Precon != nil {
+		z = ws.Vec(n)
+	}
 	h := la.NewDense(m+1, m)
 	g := make([]float64, m+1)
 	rot := make([]la.Givens, m)
@@ -95,7 +114,14 @@ func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOpt
 
 		j := 0
 		for ; j < m && st.Iterations < opts.MaxIter; j++ {
-			if err := a.Apply(v[j], w); err != nil {
+			op := v[j]
+			if opts.Precon != nil {
+				if err := opts.Precon.ApplyInto(v[j], z); err != nil {
+					return x, st, err
+				}
+				op = z
+			}
+			if err := a.Apply(op, w); err != nil {
 				return x, st, err
 			}
 			// Modified Gram–Schmidt: one blocking reduction per basis
@@ -141,8 +167,23 @@ func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOpt
 		}
 		if j > 0 {
 			solveHessenbergInto(h, g, j, y[:j])
-			for i := 0; i < j; i++ {
-				dist.Axpy(c, y[i], v[i], x)
+			if opts.Precon == nil {
+				for i := 0; i < j; i++ {
+					dist.Axpy(c, y[i], v[i], x)
+				}
+			} else {
+				// Right preconditioning with fixed M: x += M⁻¹·(V·y),
+				// one preconditioner application per restart cycle.
+				for i := range w {
+					w[i] = 0
+				}
+				for i := 0; i < j; i++ {
+					dist.Axpy(c, y[i], v[i], w)
+				}
+				if err := opts.Precon.ApplyInto(w, z); err != nil {
+					return x, st, err
+				}
+				dist.Axpy(c, 1, z, x)
 			}
 		}
 		st.Restarts++
@@ -171,6 +212,9 @@ func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOpt
 // cancellation); the solver detects a non-positive value and signals a
 // restart, the standard p(l)-GMRES safeguard.
 func DistP1GMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOptions) ([]float64, Stats, error) {
+	if opts.Precon != nil {
+		return nil, Stats{}, errors.New("krylov: DistP1GMRES does not support preconditioning; use DistGMRES or DistFGMRES")
+	}
 	opts.defaults()
 	n := a.LocalLen()
 	la.CheckLen("b", b, n)

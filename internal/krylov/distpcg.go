@@ -8,47 +8,14 @@ import (
 	"repro/internal/la"
 )
 
-// LocalPrecon is a communication-free preconditioner for the distributed
-// CG family: z = M⁻¹·r computed locally (Jacobi, block-Jacobi, polynomial
-// — anything without halo dependence).
-type LocalPrecon interface {
-	// ApplyInv computes z = M⁻¹·r into z (local pieces, no aliasing).
-	ApplyInv(r, z []float64)
-	// Flops returns the per-application flop count for clock accounting.
-	Flops() float64
-}
-
-// JacobiPrecon is diagonal scaling: z_i = r_i / d_i.
-type JacobiPrecon struct {
-	InvDiag []float64
-}
-
-// NewJacobiPrecon precomputes 1/d for the local diagonal d.
-func NewJacobiPrecon(diag []float64) *JacobiPrecon {
-	inv := make([]float64, len(diag))
-	for i, v := range diag {
-		if v == 0 {
-			panic("krylov: zero diagonal in Jacobi preconditioner")
-		}
-		inv[i] = 1 / v
-	}
-	return &JacobiPrecon{InvDiag: inv}
-}
-
-// ApplyInv implements LocalPrecon.
-func (j *JacobiPrecon) ApplyInv(r, z []float64) {
-	for i := range r {
-		z[i] = r[i] * j.InvDiag[i]
-	}
-}
-
-// Flops implements LocalPrecon.
-func (j *JacobiPrecon) Flops() float64 { return float64(len(j.InvDiag)) }
-
 // DistPCG is standard preconditioned conjugate gradients: per iteration
 // one SpMV, one preconditioner application, and two blocking reductions —
-// the synchronous baseline for DistPipelinedPCG.
-func DistPCG(c *comm.Comm, a dist.Operator, m LocalPrecon, b, x0 []float64, opts DistOptions) ([]float64, Stats, error) {
+// the synchronous baseline for DistPipelinedPCG. m is any
+// DistPreconditioner (internal/precond's Jacobi, BlockJacobi or
+// Chebyshev; nil for plain CG); for CG theory to hold it must be
+// symmetric positive definite, and implementations charge their own
+// flops to the cost model.
+func DistPCG(c *comm.Comm, a dist.Operator, m DistPreconditioner, b, x0 []float64, opts DistOptions) ([]float64, Stats, error) {
 	opts.defaults()
 	n := a.LocalLen()
 	la.CheckLen("b", b, n)
@@ -78,8 +45,9 @@ func DistPCG(c *comm.Comm, a dist.Operator, m LocalPrecon, b, x0 []float64, opts
 	}
 	c.Compute(float64(n))
 	z := make([]float64, n)
-	m.ApplyInv(r, z)
-	c.Compute(m.Flops())
+	if err := applyDistPrecon(m, r, z); err != nil {
+		return x, st, err
+	}
 	p := la.Copy(z)
 	q := make([]float64, n)
 	rho, err := dist.Dot(c, r, z) // (r, M⁻¹r)
@@ -116,8 +84,9 @@ func DistPCG(c *comm.Comm, a dist.Operator, m LocalPrecon, b, x0 []float64, opts
 		alpha := rho / sigma
 		dist.Axpy(c, alpha, p, x)
 		dist.Axpy(c, -alpha, q, r)
-		m.ApplyInv(r, z)
-		c.Compute(m.Flops())
+		if err := applyDistPrecon(m, r, z); err != nil {
+			return x, st, err
+		}
 		rhoNew, err := dist.Dot(c, r, z)
 		if err != nil {
 			return x, st, err
@@ -148,8 +117,11 @@ func DistPCG(c *comm.Comm, a dist.Operator, m LocalPrecon, b, x0 []float64, opts
 //
 // where u = M⁻¹r and w = A·u are maintained by recurrence. Convergence
 // is monitored through an extra (r,r) term folded into the same merged
-// reduction (3 scalars total — still one synchronisation).
-func DistPipelinedPCG(c *comm.Comm, a dist.Operator, m LocalPrecon, b, x0 []float64, opts DistOptions) ([]float64, Stats, error) {
+// reduction (3 scalars total — still one synchronisation). Only
+// communication-free preconditioners (Jacobi, BlockJacobi) may be
+// overlapped with the in-flight reduction; a halo-exchanging
+// preconditioner would serialise against it.
+func DistPipelinedPCG(c *comm.Comm, a dist.Operator, m DistPreconditioner, b, x0 []float64, opts DistOptions) ([]float64, Stats, error) {
 	opts.defaults()
 	n := a.LocalLen()
 	la.CheckLen("b", b, n)
@@ -179,8 +151,9 @@ func DistPipelinedPCG(c *comm.Comm, a dist.Operator, m LocalPrecon, b, x0 []floa
 	}
 	c.Compute(float64(n))
 	u := make([]float64, n)
-	m.ApplyInv(r, u)
-	c.Compute(m.Flops())
+	if err := applyDistPrecon(m, r, u); err != nil {
+		return x, st, err
+	}
 	w := make([]float64, n)
 	if err := a.Apply(u, w); err != nil {
 		return x, st, err
@@ -208,8 +181,9 @@ func DistPipelinedPCG(c *comm.Comm, a dist.Operator, m LocalPrecon, b, x0 []floa
 		st.Reductions++
 
 		// Overlap: preconditioner + SpMV while the reduction flies.
-		m.ApplyInv(w, mm)
-		c.Compute(m.Flops())
+		if err := applyDistPrecon(m, w, mm); err != nil {
+			return x, st, err
+		}
 		if err := a.Apply(mm, nn); err != nil {
 			return x, st, err
 		}

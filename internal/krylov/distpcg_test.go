@@ -1,12 +1,12 @@
 package krylov
 
 import (
-	"math"
 	"testing"
 
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/la"
+	"repro/internal/precond"
 	"repro/internal/problems"
 )
 
@@ -41,9 +41,10 @@ func TestPCGMatchesPipelinedPCG(t *testing.T) {
 		var stats Stats
 		err := comm.Run(distConfig(p), func(c *comm.Comm) error {
 			op := dist.NewCSR(c, a)
-			lo, hi := op.Lo(), op.Lo()+op.LocalLen()
-			diag := a.Diag()[lo:hi]
-			m := NewJacobiPrecon(diag)
+			m := precond.NewJacobi(c, a)
+			if err := m.Setup(); err != nil {
+				return err
+			}
 			local := op.Scatter(rhs)
 			var x []float64
 			var st Stats
@@ -105,8 +106,10 @@ func TestJacobiActuallyHelps(t *testing.T) {
 			var st Stats
 			var err error
 			if precon {
-				lo, hi := op.Lo(), op.Lo()+op.LocalLen()
-				m := NewJacobiPrecon(a.Diag()[lo:hi])
+				m := precond.NewJacobi(c, a)
+				if err := m.Setup(); err != nil {
+					return err
+				}
 				_, st, err = DistPCG(c, op, m, local, nil, DistOptions{Tol: 1e-9, MaxIter: 2000})
 			} else {
 				_, st, err = DistCG(c, op, local, nil, DistOptions{Tol: 1e-9, MaxIter: 2000})
@@ -131,22 +134,50 @@ func TestJacobiActuallyHelps(t *testing.T) {
 	}
 }
 
-func TestJacobiPreconBasics(t *testing.T) {
-	j := NewJacobiPrecon([]float64{2, 4, 8})
-	z := make([]float64, 3)
-	j.ApplyInv([]float64{2, 4, 8}, z)
-	for i, v := range z {
-		if math.Abs(v-1) > 1e-15 {
-			t.Fatalf("z[%d] = %g", i, v)
+// TestUnpreconditionedPCGMatchesCG: a nil preconditioner must reduce
+// DistPCG to exactly the CG iteration (the identity-M degeneracy the
+// solvers promise for nil DistPreconditioner).
+func TestUnpreconditionedPCGMatchesCG(t *testing.T) {
+	const p = 2
+	a, rhs, _ := variableDiagProblem()
+	run := func(pcg bool) (x []float64, st Stats) {
+		err := comm.Run(distConfig(p), func(c *comm.Comm) error {
+			op := dist.NewCSR(c, a)
+			local := op.Scatter(rhs)
+			var xl []float64
+			var s Stats
+			var err error
+			if pcg {
+				xl, s, err = DistPCG(c, op, nil, local, nil, DistOptions{Tol: 1e-10, MaxIter: 900})
+			} else {
+				xl, s, err = DistCG(c, op, local, nil, DistOptions{Tol: 1e-10, MaxIter: 900})
+			}
+			if err != nil {
+				return err
+			}
+			full, err := op.Gather(xl)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				x, st = full, s
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
+		return x, st
 	}
-	if j.Flops() != 3 {
-		t.Errorf("flops %g", j.Flops())
+	xP, stP := run(true)
+	xC, stC := run(false)
+	if !stP.Converged || !stC.Converged {
+		t.Fatalf("convergence pcg=%v cg=%v", stP.Converged, stC.Converged)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("zero diagonal must panic")
-		}
-	}()
-	NewJacobiPrecon([]float64{1, 0})
+	if d := stP.Iterations - stC.Iterations; d > 2 || d < -2 {
+		t.Errorf("identity-PCG iterations %d vs CG %d", stP.Iterations, stC.Iterations)
+	}
+	if e := la.NrmInf(la.Sub(xP, xC)); e > 1e-8 {
+		t.Errorf("identity-PCG deviates from CG by %g", e)
+	}
 }

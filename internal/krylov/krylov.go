@@ -114,6 +114,29 @@ func (IdentityPrecon) Solve(r []float64) []float64 { return la.Copy(r) }
 // SolveInto implements InPlacePreconditioner.
 func (IdentityPrecon) SolveInto(r, z []float64) { copy(z, r) }
 
+// DistPreconditioner is the distributed preconditioner contract the
+// distributed solvers accept: ApplyInto computes z ≈ M⁻¹·r over this
+// rank's slab, allocation-free in steady state, propagating
+// communication errors unchanged. A nil DistPreconditioner always means
+// the identity (an unpreconditioned solve). Every implementation in
+// internal/precond satisfies this interface structurally — krylov and
+// precond are sibling layers and deliberately do not import each other
+// — as does the unreliable inner solver srp.DistInner, which is how a
+// whole faulty inner solve becomes "just a preconditioner" (§III-D).
+type DistPreconditioner interface {
+	ApplyInto(r, z []float64) error
+}
+
+// applyDistPrecon routes z = M⁻¹·r through m, with nil meaning the
+// identity. r and z must not alias.
+func applyDistPrecon(m DistPreconditioner, r, z []float64) error {
+	if m == nil {
+		copy(z, r)
+		return nil
+	}
+	return m.ApplyInto(r, z)
+}
+
 // Stats records a solve's trajectory for the experiment tables.
 type Stats struct {
 	Iterations    int       // total inner iterations performed

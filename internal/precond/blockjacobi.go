@@ -1,0 +1,156 @@
+package precond
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/la"
+)
+
+// BlockJacobi is the per-rank block-Jacobi preconditioner: rank r
+// factors the diagonal block A[lo:hi, lo:hi] of its owned row range
+// with ILU(0) (incomplete LU on the block's own sparsity pattern) and
+// each application solves L·U·z = r by substitution. Couplings to rows
+// owned by other ranks are dropped — that truncation is exactly what
+// makes every application communication-free, and what degrades the
+// preconditioner gracefully as ranks are added.
+//
+// For a tridiagonal block ILU(0) incurs no fill and the block solve is
+// exact; for the 2D PDE operators in internal/problems it is the
+// classic strong-but-cheap middle ground between Jacobi and a direct
+// block solve.
+type BlockJacobi struct {
+	c *comm.Comm
+	n int // block dimension = local row count
+
+	// Local diagonal block in CSR with columns remapped to [0, n).
+	rowPtr  []int
+	colIdx  []int
+	orig    []float64 // assembled block values (kept so Setup can re-run)
+	val     []float64 // after Setup: strict lower = L (unit diag), rest = U
+	diagPtr []int     // position of the diagonal entry in each row
+
+	y     []float64 // forward-substitution scratch
+	setup bool
+}
+
+// NewBlockJacobiILU extracts this rank's diagonal block from the
+// replicated global matrix a. Call Setup to factor it before use.
+// Panics if a is not square or a row has no diagonal entry (the PDE
+// assemblies here always store the diagonal).
+func NewBlockJacobiILU(c *comm.Comm, a *la.CSR) *BlockJacobi {
+	if a.Rows != a.Cols {
+		panic("precond: BlockJacobi needs a square matrix")
+	}
+	pt := dist.Partition{N: a.Rows, P: c.Size()}
+	lo, hi := pt.Range(c.Rank())
+	n := hi - lo
+	b := &BlockJacobi{c: c, n: n, rowPtr: make([]int, n+1), diagPtr: make([]int, n), y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		g := lo + i
+		diagSeen := false
+		for q := a.RowPtr[g]; q < a.RowPtr[g+1]; q++ {
+			j := a.ColIdx[q]
+			if j < lo || j >= hi {
+				continue // off-block coupling: dropped, another rank's row range
+			}
+			if j == g {
+				diagSeen = true
+				b.diagPtr[i] = len(b.colIdx)
+			}
+			b.colIdx = append(b.colIdx, j-lo)
+			b.orig = append(b.orig, a.Val[q])
+		}
+		if !diagSeen {
+			panic(fmt.Sprintf("precond: row %d has no stored diagonal", g))
+		}
+		b.rowPtr[i+1] = len(b.colIdx)
+	}
+	b.val = make([]float64, len(b.orig))
+	return b
+}
+
+// Setup implements Preconditioner: runs the in-place ILU(0)
+// factorisation of the local block. The factors live on the block's own
+// sparsity pattern — no fill-in is created — so setup is O(nnz·row
+// width) and reliably cheap for the stencil-bandwidth matrices here.
+func (b *BlockJacobi) Setup() error {
+	copy(b.val, b.orig)
+	b.setup = false
+	// pos maps a column index to its position in the current row
+	// (-1 = not present), the standard sparse-ILU scratch.
+	pos := make([]int, b.n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	flops := 0.0
+	for i := 0; i < b.n; i++ {
+		lo, hi := b.rowPtr[i], b.rowPtr[i+1]
+		for q := lo; q < hi; q++ {
+			pos[b.colIdx[q]] = q
+		}
+		for q := lo; q < hi && b.colIdx[q] < i; q++ {
+			k := b.colIdx[q]
+			pivot := b.val[b.diagPtr[k]]
+			if pivot == 0 {
+				for qq := lo; qq < hi; qq++ {
+					pos[b.colIdx[qq]] = -1
+				}
+				return fmt.Errorf("precond: ILU(0) zero pivot at local row %d", k)
+			}
+			lik := b.val[q] / pivot
+			b.val[q] = lik
+			for s := b.diagPtr[k] + 1; s < b.rowPtr[k+1]; s++ {
+				if p := pos[b.colIdx[s]]; p >= 0 {
+					b.val[p] -= lik * b.val[s]
+					flops += 2
+				}
+			}
+			flops += 1
+		}
+		for q := lo; q < hi; q++ {
+			pos[b.colIdx[q]] = -1
+		}
+		if b.val[b.diagPtr[i]] == 0 {
+			return fmt.Errorf("precond: ILU(0) zero pivot at local row %d", i)
+		}
+	}
+	b.c.Compute(flops)
+	b.setup = true
+	return nil
+}
+
+// Apply implements Preconditioner.
+func (b *BlockJacobi) Apply(r []float64) ([]float64, error) { return applyViaInto(b, r) }
+
+// ApplyInto implements Preconditioner: solves L·y = r (unit lower
+// triangle) then U·z = y over the factored block. Purely local.
+func (b *BlockJacobi) ApplyInto(r, z []float64) error {
+	if !b.setup {
+		return ErrNotSetup
+	}
+	la.CheckLen("r", r, b.n)
+	la.CheckLen("z", z, b.n)
+	y := b.y
+	for i := 0; i < b.n; i++ {
+		s := r[i]
+		for q := b.rowPtr[i]; q < b.diagPtr[i]; q++ {
+			s -= b.val[q] * y[b.colIdx[q]]
+		}
+		y[i] = s
+	}
+	for i := b.n - 1; i >= 0; i-- {
+		s := y[i]
+		for q := b.diagPtr[i] + 1; q < b.rowPtr[i+1]; q++ {
+			s -= b.val[q] * z[b.colIdx[q]]
+		}
+		z[i] = s / b.val[b.diagPtr[i]]
+	}
+	b.c.Compute(b.Flops())
+	return nil
+}
+
+// Flops implements Preconditioner: two substitution sweeps touch every
+// stored entry once, plus a divide per row.
+func (b *BlockJacobi) Flops() float64 { return 2*float64(len(b.val)) + float64(b.n) }

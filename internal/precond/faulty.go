@@ -1,0 +1,39 @@
+package precond
+
+import "repro/internal/fault"
+
+// Faulty wraps any preconditioner so every application's output passes
+// through a per-rank fault injector — a preconditioner running on
+// unreliable hardware. This is the package's hook into the paper's
+// Selective Reliability architecture (§III-D): srp.DistFTGMRES can use
+// a Faulty preconditioner (or an inner solve preconditioned by one) as
+// its low-reliability inner phase, with the reliable outer iteration
+// sanitising whatever comes back.
+//
+// Each rank must own a distinct injector (seed it from the rank id) so
+// fault patterns are independent across ranks yet reproducible.
+type Faulty struct {
+	Inner    Preconditioner
+	Injector *fault.VectorInjector
+}
+
+// Setup implements Preconditioner: the factorisation itself is assumed
+// to run reliably (it is setup-time critical data, in the paper's
+// terms); only applications are corrupted.
+func (f *Faulty) Setup() error { return f.Inner.Setup() }
+
+// Apply implements Preconditioner.
+func (f *Faulty) Apply(r []float64) ([]float64, error) { return applyViaInto(f, r) }
+
+// ApplyInto implements Preconditioner: the clean application followed
+// by the injector's pass over the result.
+func (f *Faulty) ApplyInto(r, z []float64) error {
+	if err := f.Inner.ApplyInto(r, z); err != nil {
+		return err
+	}
+	f.Injector.Pass(z)
+	return nil
+}
+
+// Flops implements Preconditioner.
+func (f *Faulty) Flops() float64 { return f.Inner.Flops() }

@@ -1,0 +1,70 @@
+package precond
+
+import "errors"
+
+// Preconditioner approximately inverts an operator: ApplyInto computes
+// z ≈ M⁻¹·r for this rank's slab of a block-row distributed vector.
+// Implementations are SPMD objects (see the package comment); whether an
+// application communicates is implementation-defined — Jacobi and
+// BlockJacobi are communication-free, Chebyshev exchanges halos — but
+// none of them performs global reductions.
+type Preconditioner interface {
+	// Setup (re)builds the internal factorisation or scratch state. It
+	// must be called once before the first ApplyInto and again whenever
+	// the underlying operator changes. Collective: every rank calls it.
+	// Numerical breakdown (zero pivot, invalid spectral bounds) is
+	// reported as an error, never a panic.
+	Setup() error
+
+	// Apply returns z ≈ M⁻¹·r in a fresh slice — the convenience form
+	// for tests and cold paths.
+	Apply(r []float64) ([]float64, error)
+
+	// ApplyInto computes z ≈ M⁻¹·r into the caller-provided z, with
+	// zero heap allocations in steady state. r and z must not alias.
+	// Communication errors (comm.ErrRankFailed, comm.ErrKilled)
+	// propagate unchanged.
+	ApplyInto(r, z []float64) error
+
+	// Flops returns the floating-point work one ApplyInto charges to
+	// the machine cost model directly (operator applications inside a
+	// polynomial preconditioner meter themselves on top of this).
+	Flops() float64
+}
+
+// ErrNotSetup is returned by ApplyInto when Setup has not run (or has
+// not run since construction).
+var ErrNotSetup = errors.New("precond: Setup must be called before ApplyInto")
+
+// Identity is the no-op preconditioner M = I; useful as an experiment
+// baseline where the code path should stay "preconditioned" but the
+// mathematics should not change.
+type Identity struct{}
+
+// Setup implements Preconditioner.
+func (Identity) Setup() error { return nil }
+
+// Apply implements Preconditioner.
+func (Identity) Apply(r []float64) ([]float64, error) {
+	z := make([]float64, len(r))
+	copy(z, r)
+	return z, nil
+}
+
+// ApplyInto implements Preconditioner.
+func (Identity) ApplyInto(r, z []float64) error {
+	copy(z, r)
+	return nil
+}
+
+// Flops implements Preconditioner.
+func (Identity) Flops() float64 { return 0 }
+
+// applyViaInto is the shared Apply-in-terms-of-ApplyInto helper.
+func applyViaInto(p Preconditioner, r []float64) ([]float64, error) {
+	z := make([]float64, len(r))
+	if err := p.ApplyInto(r, z); err != nil {
+		return nil, err
+	}
+	return z, nil
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/krylov"
 	"repro/internal/la"
+	"repro/internal/precond"
 )
 
 // FaultyDistOp wraps a distributed operator so each rank's local Apply
@@ -38,48 +39,86 @@ func (f *FaultyDistOp) NormInf() float64 { return f.Inner.NormInf() }
 
 // DistInner is the unreliable distributed inner solver used as the
 // DistFGMRES preconditioner: a fixed-budget distributed GMRES on the
-// faulty operator, with reliable sanitisation of the result (the
-// distributed form of InnerSolver).
+// faulty operator — itself optionally preconditioned by Precon
+// (typically a precond.Faulty block-Jacobi, so the whole inner phase
+// including its preconditioner runs in low-reliability mode) — with
+// reliable sanitisation of the result. It implements
+// krylov.DistPreconditioner: to the reliable outer iteration, the whole
+// unreliable solve is just one preconditioner application.
 type DistInner struct {
+	C       *comm.Comm
 	Faulty  dist.Operator
 	Iters   int
 	Restart int
+	// Precon, when non-nil, right-preconditions the inner GMRES solves.
+	Precon krylov.DistPreconditioner
 
 	Solves   int
 	Discards int
 }
 
-// Solve implements krylov.DistPrecon.
-func (s *DistInner) Solve(c *comm.Comm, r []float64) ([]float64, error) {
+// ApplyInto implements krylov.DistPreconditioner: one fixed-budget
+// unreliable solve, then the reliable analyse-and-use-or-discard step
+// of §III-D.
+func (s *DistInner) ApplyInto(r, z []float64) error {
 	s.Solves++
 	restart := s.Restart
 	if restart <= 0 {
 		restart = s.Iters
 	}
-	z, _, err := krylov.DistGMRES(c, s.Faulty, r, nil, krylov.DistGMRESOptions{
-		Restart: restart, MaxIter: s.Iters, Tol: 1e-13,
+	out, _, err := krylov.DistGMRES(s.C, s.Faulty, r, nil, krylov.DistGMRESOptions{
+		Restart: restart, MaxIter: s.Iters, Tol: 1e-13, Precon: s.Precon,
 	})
 	if err != nil {
-		return nil, err // communication errors are not sanitisable
+		return err // communication errors are not sanitisable
 	}
 	// Local sanitisation must reach a *global* consensus: if any rank's
 	// piece is garbage, every rank must discard, or the preconditioner
 	// application would be inconsistent across ranks.
 	var agg [3]float64
-	if la.HasNonFinite(z) {
+	if la.HasNonFinite(out) {
 		agg[0] = 1
 	}
-	agg[1] = la.Dot(z, z)
+	agg[1] = la.Dot(out, out)
 	agg[2] = la.Dot(r, r)
-	c.Compute(la.FlopsDot(len(z)) * 2)
-	if err := c.AllreduceInto(agg[:], comm.OpSum, agg[:]); err != nil {
-		return nil, err
+	s.C.Compute(la.FlopsDot(len(out)) * 2)
+	if err := s.C.AllreduceInto(agg[:], comm.OpSum, agg[:]); err != nil {
+		return err
 	}
 	if agg[0] > 0 || (agg[2] > 0 && (agg[1] == 0 || agg[1] > 1e16*agg[2])) {
 		s.Discards++
-		return la.Copy(r), nil
+		copy(z, r)
+		return nil
 	}
-	return z, nil
+	copy(z, out)
+	return nil
+}
+
+// NewFaultyStack assembles the standard low-reliability inner phase for
+// the replicated global matrix a: the operator wrapped with a per-rank
+// fault injector, and — when precondition is true — a block-Jacobi
+// ILU(0) preconditioner whose outputs are corrupted at the same rate.
+// Injectors are seeded from seed plus the rank (operator) and a
+// disjoint offset (preconditioner), so fault patterns are independent
+// across ranks and across the two injection points yet reproducible.
+// Every experiment, example and test that runs FT-GMRES on a corrupted
+// stack builds it here, so the wiring cannot drift between them.
+func NewFaultyStack(c *comm.Comm, a *la.CSR, rate float64, seed uint64, precondition bool) (dist.Operator, krylov.DistPreconditioner, error) {
+	faulty := &FaultyDistOp{
+		Inner:    dist.NewCSR(c, a),
+		Injector: fault.NewVectorInjector(seed + uint64(c.Rank())).WithRate(rate),
+	}
+	if !precondition {
+		return faulty, nil, nil
+	}
+	fm := &precond.Faulty{
+		Inner:    precond.NewBlockJacobiILU(c, a),
+		Injector: fault.NewVectorInjector(seed + 1<<16 + uint64(c.Rank())).WithRate(rate),
+	}
+	if err := fm.Setup(); err != nil {
+		return nil, nil, err
+	}
+	return faulty, fm, nil
 }
 
 // DistFTGMRESResult reports a distributed FT-GMRES solve.
@@ -96,8 +135,19 @@ type DistFTGMRESResult struct {
 // trusted is the clean operator; faulty is the same operator wrapped with
 // per-rank injectors (see FaultyDistOp).
 func DistFTGMRES(c *comm.Comm, trusted, faulty dist.Operator, b []float64, opts Options) (DistFTGMRESResult, error) {
+	return DistFTGMRESPreconditioned(c, trusted, faulty, nil, b, opts)
+}
+
+// DistFTGMRESPreconditioned is DistFTGMRES with a preconditioned inner
+// phase: innerM right-preconditions the unreliable inner GMRES solves.
+// Pass a precond.Faulty-wrapped preconditioner to keep the whole inner
+// phase — solve and preconditioner alike — in low-reliability mode; the
+// outer iteration's sanitisation consensus is unchanged, so a corrupted
+// preconditioner costs discards and extra outer iterations, never
+// correctness.
+func DistFTGMRESPreconditioned(c *comm.Comm, trusted, faulty dist.Operator, innerM krylov.DistPreconditioner, b []float64, opts Options) (DistFTGMRESResult, error) {
 	opts.defaults()
-	inner := &DistInner{Faulty: faulty, Iters: opts.InnerIters, Restart: opts.InnerIters}
+	inner := &DistInner{C: c, Faulty: faulty, Iters: opts.InnerIters, Restart: opts.InnerIters, Precon: innerM}
 	x, st, err := krylov.DistFGMRES(c, trusted, inner, b, nil, krylov.DistGMRESOptions{
 		Restart: opts.OuterRestart,
 		Tol:     opts.Tol,

@@ -94,6 +94,59 @@ func TestDistFTGMRESConvergesUnderFaults(t *testing.T) {
 	}
 }
 
+// TestDistFTGMRESWithFaultyPreconditionedInner runs the full selective
+// -reliability stack: the unreliable inner phase is a GMRES solve
+// preconditioned by a *fault-injected* block-Jacobi ILU(0) — both the
+// inner operator and its preconditioner corrupt silently — and the
+// reliable outer iteration must still reach the exact solution.
+func TestDistFTGMRESWithFaultyPreconditionedInner(t *testing.T) {
+	const p = 4
+	const rate = 1e-3
+	a := problems.ConvDiffRot2D(16, 16, 40)
+	bGlob, xstar := problems.ManufacturedRHS(a)
+	cfg := comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: 11}
+
+	var errInf float64
+	var conv bool
+	var innerSolves int
+	err := comm.Run(cfg, func(c *comm.Comm) error {
+		trusted := dist.NewCSR(c, a)
+		faulty, innerM, err := NewFaultyStack(c, a, rate, 2000, true)
+		if err != nil {
+			return err
+		}
+		local := trusted.Scatter(bGlob)
+		res, err := DistFTGMRESPreconditioned(c, trusted, faulty, innerM, local, Options{
+			InnerIters: 10, Tol: 1e-8, MaxOuter: 60, OuterRestart: 30,
+		})
+		if err != nil {
+			return err
+		}
+		full, err := trusted.Gather(res.X)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			errInf = la.NrmInf(la.Sub(full, xstar))
+			conv = res.Stats.Converged
+			innerSolves = res.InnerSolves
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conv {
+		t.Fatal("FT-GMRES with faulty preconditioned inner did not converge")
+	}
+	if errInf > 1e-5 {
+		t.Errorf("solution error %g", errInf)
+	}
+	if innerSolves == 0 {
+		t.Error("inner phase never ran")
+	}
+}
+
 // TestFaultyDistOpPreservesMetadata checks the wrapper's pass-throughs.
 func TestFaultyDistOpPreservesMetadata(t *testing.T) {
 	a := problems.Poisson1D(40)

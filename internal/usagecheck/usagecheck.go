@@ -1,0 +1,76 @@
+// Package usagecheck keeps command-line documentation honest: it
+// extracts the `cmd -flag value ...` invocation snippets embedded in
+// doc comments and markdown files, and parses each one against the
+// command's real flag.FlagSet. Commands expose their flag construction
+// as a `newFlags()` function (one source of truth) and a test walks
+// every documented snippet through it — so a flag rename, removal or
+// typo in README/usage text fails `go test ./...` instead of silently
+// drifting, the failure mode this package was built to retire.
+package usagecheck
+
+import (
+	"flag"
+	"io"
+	"strings"
+)
+
+// Snippets scans text for command invocations of name (a bare `name` or
+// a path ending in /name, as in `go run ./cmd/name -x 1`) and returns
+// the argument vector of each invocation that passes at least one flag.
+// Inline code spans (`cmd -flag v`) embedded in prose are extracted as
+// their own candidates, so punctuation around the span is not mistaken
+// for arguments.
+func Snippets(text, name string) [][]string {
+	var out [][]string
+	for _, line := range candidateLines(text) {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if f != name && !strings.HasSuffix(f, "/"+name) {
+				continue
+			}
+			args := fields[i+1:]
+			if len(args) > 0 && strings.HasPrefix(args[0], "-") {
+				out = append(out, args)
+			}
+			break
+		}
+	}
+	return out
+}
+
+// candidateLines splits text into scan units: lines without inline code
+// pass through whole, lines with paired backticks contribute each code
+// span separately (the prose around a span is dropped).
+func candidateLines(text string) []string {
+	var lines []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Count(line, "`") >= 2 {
+			parts := strings.Split(line, "`")
+			for i := 1; i < len(parts); i += 2 {
+				lines = append(lines, parts[i])
+			}
+			continue
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// Verify parses every snippet of name found in text with a fresh flag
+// set from mk, returning one error message per snippet that does not
+// parse — the drift the caller's test reports.
+func Verify(text, name string, mk func() *flag.FlagSet) []string {
+	var problems []string
+	for _, args := range Snippets(text, name) {
+		fs := mk()
+		fs.SetOutput(io.Discard)
+		fs.Usage = func() {}
+		if err := fs.Parse(args); err != nil && err != flag.ErrHelp {
+			problems = append(problems, name+" "+strings.Join(args, " ")+": "+err.Error())
+		}
+	}
+	return problems
+}

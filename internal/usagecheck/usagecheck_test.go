@@ -1,0 +1,37 @@
+package usagecheck
+
+import (
+	"flag"
+	"testing"
+)
+
+const sample = "Run it:\n" +
+	"\tgo run ./cmd/demo -n 3 -v   # a comment\n" +
+	"prose with inline `demo -n 9` code, and (`./cmd/demo -bogus 1`).\n" +
+	"plain mention of demo without flags\n"
+
+func TestSnippetsExtraction(t *testing.T) {
+	got := Snippets(sample, "demo")
+	if len(got) != 3 {
+		t.Fatalf("want 3 snippets, got %v", got)
+	}
+	if got[0][0] != "-n" || got[0][1] != "3" || got[0][2] != "-v" {
+		t.Errorf("comment not stripped or args wrong: %v", got[0])
+	}
+	if got[1][0] != "-n" || got[1][1] != "9" {
+		t.Errorf("inline code span not extracted: %v", got[1])
+	}
+}
+
+func TestVerifyFlagsDrift(t *testing.T) {
+	mk := func() *flag.FlagSet {
+		fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+		fs.Int("n", 1, "")
+		fs.Bool("v", false, "")
+		return fs
+	}
+	problems := Verify(sample, "demo", mk)
+	if len(problems) != 1 {
+		t.Fatalf("want exactly the -bogus snippet flagged, got %v", problems)
+	}
+}
