@@ -1,0 +1,170 @@
+// Command campaign runs a fault-campaign sweep: it expands a scenario
+// spec into its solver × preconditioner × problem × ranks × fault-model
+// grid, executes every replicate on a worker pool, streams results to a
+// crash-safe JSONL file, and folds them into the canonical
+// CAMPAIGN_<label>.json aggregate. Run `campaign -h` for the full flag
+// set — a test pins every usage snippet in this comment, the README and
+// docs/CAMPAIGNS.md against the flags the program actually parses.
+//
+// Common invocations:
+//
+//	campaign -spec quick -label dev                                  # run + aggregate
+//	campaign -spec quick -label dev -resume                          # finish a killed run
+//	campaign -cells -spec quick                                      # list the grid
+//	campaign -spec quick -shard 0/2 -runs shard0.jsonl -no-agg       # CI fan-out, half 1
+//	campaign -spec quick -shard 1/2 -runs shard1.jsonl -no-agg       # CI fan-out, half 2
+//	campaign -aggregate-only -spec quick -label ci shard0.jsonl shard1.jsonl
+//
+// The spec is "quick", "full", or a path to a JSON Spec file (see
+// docs/CAMPAIGNS.md for the format and the JSONL/aggregate schemas).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/comm"
+)
+
+// options carries every flag campaign parses; newFlags is the single
+// source of truth the help text and the usage-snippet test derive from.
+type options struct {
+	spec    string
+	label   string
+	seed    uint64
+	shard   string
+	runs    string
+	resume  bool
+	workers int
+	cells   bool
+	aggOnly bool
+	noAgg   bool
+	quiet   bool
+}
+
+// newFlags builds the flag set. Keeping construction in one function is
+// what lets main_test.go verify that every documented invocation parses.
+func newFlags() (*flag.FlagSet, *options) {
+	o := &options{}
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	fs.StringVar(&o.spec, "spec", "quick", "campaign spec: quick, full, or a JSON file path")
+	fs.StringVar(&o.label, "label", "dev", "label; names the default output files")
+	fs.Uint64Var(&o.seed, "seed", 0, "override the spec's campaign seed (0 keeps it)")
+	fs.StringVar(&o.shard, "shard", "0/1", "run only cells with index%n == k, as k/n")
+	fs.StringVar(&o.runs, "runs", "", "JSONL run-record path (default campaign_<label>.jsonl)")
+	fs.BoolVar(&o.resume, "resume", false, "keep existing records in -runs and execute only missing runs")
+	fs.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.BoolVar(&o.cells, "cells", false, "list the spec's runnable grid cells and exit")
+	fs.BoolVar(&o.aggOnly, "aggregate-only", false, "skip running; aggregate the JSONL files given as arguments")
+	fs.BoolVar(&o.noAgg, "no-agg", false, "skip aggregation after the run (sharded CI jobs)")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress per-run progress lines")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: campaign [flags] [jsonl files with -aggregate-only]\n\n")
+		fmt.Fprintf(fs.Output(), "Sweeps the solver x precond x problem x ranks x fault grid of a\n")
+		fmt.Fprintf(fs.Output(), "scenario spec, streams per-run JSONL records, and aggregates them\n")
+		fmt.Fprintf(fs.Output(), "into CAMPAIGN_<label>.json (success rates, quantiles, expected\n")
+		fmt.Fprintf(fs.Output(), "time-to-solution with bootstrap CIs).\n\n")
+		fs.PrintDefaults()
+	}
+	return fs, o
+}
+
+func main() {
+	fs, o := newFlags()
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+	if err := run(fs, o); err != nil {
+		// Package errors already carry the "campaign: " prefix; don't
+		// double it on the way out.
+		fmt.Fprintln(os.Stderr, "campaign:", strings.TrimPrefix(err.Error(), "campaign: "))
+		os.Exit(1)
+	}
+}
+
+func run(fs *flag.FlagSet, o *options) error {
+	spec, err := campaign.LoadSpec(o.spec)
+	if err != nil {
+		return err
+	}
+	if o.seed != 0 {
+		spec.Seed = o.seed
+	}
+
+	if o.cells {
+		for _, c := range spec.Cells() {
+			fmt.Printf("%4d  %s\n", c.Index, c.Key())
+		}
+		cov := spec.Coverage()
+		fmt.Printf("%d cells x %d replicates = %d runs (%d solvers, %d preconds, %d problems, %d fault models)\n",
+			cov.Cells, spec.Replicates, cov.Runs, cov.Solvers, cov.Preconds, cov.Problems, cov.Fault)
+		return nil
+	}
+
+	aggPath := "CAMPAIGN_" + o.label + ".json"
+	if o.aggOnly {
+		if fs.NArg() == 0 {
+			return fmt.Errorf("-aggregate-only needs at least one JSONL file argument")
+		}
+		agg, err := campaign.AggregateFiles(spec, o.label, fs.Args()...)
+		if err != nil {
+			return err
+		}
+		if err := campaign.WriteAggregate(agg, aggPath); err != nil {
+			return err
+		}
+		fmt.Printf("aggregated %d runs (%d successes) over %d cells -> %s\n",
+			agg.Runs, agg.Successes, len(agg.Cells), aggPath)
+		return nil
+	}
+
+	shard, shards, err := campaign.ParseShard(o.shard)
+	if err != nil {
+		return err
+	}
+	runsPath := o.runs
+	if runsPath == "" {
+		runsPath = "campaign_" + o.label + ".jsonl"
+	}
+	led := &comm.Ledger{}
+	opts := campaign.Options{
+		Spec: spec, Shard: shard, Shards: shards, Workers: o.workers,
+		Out: runsPath, Resume: o.resume, Ledger: led,
+	}
+	if !o.quiet {
+		opts.Progress = os.Stderr
+	}
+	st, err := campaign.Run(opts)
+	if err != nil {
+		return err
+	}
+	snap := led.Snapshot()
+	fmt.Printf("shard %d/%d: %d cells, %d runs (%d resumed, %d executed, %d errored) -> %s\n",
+		shard, shards, st.Cells, st.Planned, st.Resumed, st.Executed, st.Errored, runsPath)
+	fmt.Printf("simulated: %d worlds, %d rank executions, %.3g virtual rank-seconds\n",
+		snap.Worlds, snap.Ranks, snap.RankSeconds)
+
+	if o.noAgg {
+		return nil
+	}
+	if shards != 1 {
+		return fmt.Errorf("a single shard is incomplete; aggregate all shards with -aggregate-only (or pass -no-agg)")
+	}
+	agg, err := campaign.AggregateFiles(spec, o.label, runsPath)
+	if err != nil {
+		return err
+	}
+	if err := campaign.WriteAggregate(agg, aggPath); err != nil {
+		return err
+	}
+	fmt.Printf("aggregated %d runs (%d successes) over %d cells -> %s\n",
+		agg.Runs, agg.Successes, len(agg.Cells), aggPath)
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/usagecheck"
+)
+
+// TestDocumentedInvocationsParse pins every campaign snippet in this
+// command's doc comment, the README and docs/CAMPAIGNS.md against the
+// real flag set, so the usage text cannot drift from the flags main
+// parses.
+func TestDocumentedInvocationsParse(t *testing.T) {
+	sources := []string{"main.go", "../../README.md", "../../docs/CAMPAIGNS.md", "../../docs/ARCHITECTURE.md"}
+	seen := 0
+	for _, path := range sources {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		text := string(data)
+		seen += len(usagecheck.Snippets(text, "campaign"))
+		for _, p := range usagecheck.Verify(text, "campaign", func() *flag.FlagSet {
+			fs, _ := newFlags()
+			return fs
+		}) {
+			t.Errorf("%s: %s", path, p)
+		}
+	}
+	if seen == 0 {
+		t.Error("no documented campaign invocations found — the drift test is checking nothing")
+	}
+}
+
+// TestDefaultsAreSane guards the values the doc comment advertises.
+func TestDefaultsAreSane(t *testing.T) {
+	fs, o := newFlags()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.spec != "quick" || o.label != "dev" || o.shard != "0/1" || o.resume || o.noAgg || o.aggOnly {
+		t.Errorf("defaults drifted: %+v", o)
+	}
+}

@@ -1,6 +1,9 @@
 // Command resilient-bench regenerates the experiment tables of this
 // reproduction (DESIGN.md §3). Each experiment instantiates one claim of
 // Heroux, "Toward Resilient Algorithms and Applications" (HPDC 2013).
+// Run `resilient-bench -h` for the full flag set — the help text is
+// generated from the flags the program actually parses (and a test pins
+// every usage snippet in this comment and the README against them).
 //
 // Usage:
 //
@@ -20,14 +23,44 @@ import (
 	"repro/internal/bench"
 )
 
+// options carries every flag resilient-bench parses; newFlags is the
+// single source of truth the help text and the usage-snippet test
+// derive from.
+type options struct {
+	exp  string
+	seed uint64
+	list bool
+}
+
+// newFlags builds the flag set. Keeping construction in one function is
+// what lets main_test.go verify that every documented invocation parses.
+func newFlags() (*flag.FlagSet, *options) {
+	o := &options{}
+	fs := flag.NewFlagSet("resilient-bench", flag.ContinueOnError)
+	fs.StringVar(&o.exp, "exp", "fast", "experiment ID(s): comma-separated, 'all', or 'fast'")
+	fs.Uint64Var(&o.seed, "seed", 1, "master seed for fault injection and noise")
+	fs.BoolVar(&o.list, "list", false, "list experiments and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: resilient-bench [flags]\n\n")
+		fmt.Fprintf(fs.Output(), "Regenerates the experiment tables; each experiment instantiates one\n")
+		fmt.Fprintf(fs.Output(), "claim of the paper (run -list for the index).\n\n")
+		fs.PrintDefaults()
+	}
+	return fs, o
+}
+
 func main() {
-	expFlag := flag.String("exp", "fast", "experiment ID(s): comma-separated, 'all', or 'fast'")
-	seed := flag.Uint64("seed", 1, "master seed for fault injection and noise")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+	fs, o := newFlags()
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
 
 	reg := bench.Registry()
-	if *list {
+	if o.list {
 		for _, id := range bench.IDs() {
 			slow := ""
 			if reg[id].Slow {
@@ -38,8 +71,21 @@ func main() {
 		return
 	}
 
+	for _, id := range selectIDs(o.exp, reg) {
+		table, err := bench.Run(id, o.seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		table.Render(os.Stdout)
+	}
+}
+
+// selectIDs resolves the -exp value to experiment IDs: "all", "fast"
+// (everything not marked Slow), or a comma-separated list.
+func selectIDs(exp string, reg map[string]bench.Experiment) []string {
 	var ids []string
-	switch *expFlag {
+	switch exp {
 	case "all":
 		ids = bench.IDs()
 	case "fast":
@@ -49,17 +95,9 @@ func main() {
 			}
 		}
 	default:
-		for _, id := range strings.Split(*expFlag, ",") {
+		for _, id := range strings.Split(exp, ",") {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-
-	for _, id := range ids {
-		table, err := bench.Run(id, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-		table.Render(os.Stdout)
-	}
+	return ids
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/usagecheck"
+)
+
+// TestDocumentedInvocationsParse pins every resilient-bench snippet in
+// this command's doc comment, the README and the architecture doc
+// against the real flag set, so the usage text cannot drift from the
+// flags main parses.
+func TestDocumentedInvocationsParse(t *testing.T) {
+	sources := []string{"main.go", "../../README.md", "../../docs/ARCHITECTURE.md"}
+	seen := 0
+	for _, path := range sources {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		text := string(data)
+		seen += len(usagecheck.Snippets(text, "resilient-bench"))
+		for _, p := range usagecheck.Verify(text, "resilient-bench", func() *flag.FlagSet {
+			fs, _ := newFlags()
+			return fs
+		}) {
+			t.Errorf("%s: %s", path, p)
+		}
+	}
+	if seen == 0 {
+		t.Error("no documented resilient-bench invocations found — the drift test is checking nothing")
+	}
+}
+
+// TestDefaultsAreSane guards the values the doc comment advertises.
+func TestDefaultsAreSane(t *testing.T) {
+	fs, o := newFlags()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.exp != "fast" || o.seed != 1 || o.list {
+		t.Errorf("defaults drifted: %+v", o)
+	}
+}
+
+// TestSelectIDs covers the -exp selector against the live registry:
+// "fast" excludes every Slow experiment, "all" is the whole index, and
+// explicit lists pass through trimmed.
+func TestSelectIDs(t *testing.T) {
+	reg := bench.Registry()
+	if got := selectIDs("all", reg); len(got) != len(bench.IDs()) {
+		t.Errorf("all selected %d of %d", len(got), len(bench.IDs()))
+	}
+	fast := selectIDs("fast", reg)
+	if len(fast) == 0 {
+		t.Fatal("fast selected nothing")
+	}
+	for _, id := range fast {
+		if reg[id].Slow {
+			t.Errorf("fast selected slow experiment %s", id)
+		}
+	}
+	got := selectIDs("F1, T4", reg)
+	if len(got) != 2 || got[0] != "F1" || got[1] != "T4" {
+		t.Errorf("list selection: %v", got)
+	}
+}

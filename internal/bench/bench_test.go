@@ -113,8 +113,8 @@ func TestF5LFLRWins(t *testing.T) {
 
 func TestRegistryAndRender(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Fatalf("expected 20 experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 21 {
+		t.Fatalf("expected 21 experiments, got %d: %v", len(ids), ids)
 	}
 	if ids[0] != "F1" {
 		t.Errorf("first ID %s", ids[0])

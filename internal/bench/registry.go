@@ -57,11 +57,13 @@ func Registry() map[string]Experiment {
 		"P2":  {ID: "P2", Run: P2},
 		"P3":  {ID: "P3", Run: P3, Slow: true},
 		"P4":  {ID: "P4", Run: P4, Slow: true},
+		"C1":  {ID: "C1", Run: C1, Slow: true},
 	}
 }
 
 // IDs returns all experiment IDs in display order: figures, tables,
-// ablations, then preconditioning, numerically within each group.
+// ablations, preconditioning, then campaigns, numerically within each
+// group.
 func IDs() []string {
 	var ids []string
 	for id := range Registry() {
@@ -75,8 +77,10 @@ func IDs() []string {
 			return 1
 		case 'A':
 			return 2
-		default:
+		case 'P':
 			return 3
+		default:
+			return 4
 		}
 	}
 	num := func(id string) int {

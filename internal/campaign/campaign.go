@@ -1,0 +1,402 @@
+// Package campaign is the sharded fault-campaign engine: it sweeps the
+// solver × preconditioner × problem × rank-count × fault-model grid with
+// many randomized replicates per cell and reports *distributions* —
+// success rates, iteration and virtual-time quantiles, expected
+// time-to-solution with bootstrap confidence intervals — instead of the
+// single hand-picked runs of internal/bench.
+//
+// The paper's core claim is statistical: resilient algorithms (SRP, SkP,
+// LFLR) beat global checkpoint/restart *in expectation* under random
+// faults. One run per configuration cannot test an expectation; this
+// package executes thousands and aggregates them.
+//
+// The moving parts:
+//
+//   - Spec declares the axes of a campaign declaratively; Cells expands
+//     the grid, pruning combinations that are mathematically invalid
+//     (CG on a nonsymmetric operator, Chebyshev without spectral
+//     bounds, a pipelined solver with a communicating preconditioner).
+//
+//   - Every run's seed derives from (campaign seed, cell index,
+//     replicate) through a SplitMix64 chain, so any run can be
+//     reproduced in isolation and shards of one campaign never share
+//     or reorder random streams.
+//
+//   - Run executes runs on a bounded worker pool; -shard k/n selects a
+//     deterministic subset of cells so CI can fan a campaign out over
+//     jobs. Results stream to a JSONL file as they complete
+//     (crash-safe append), and a resumed campaign skips run keys
+//     already recorded — the harness dogfooding the paper's
+//     checkpoint/restart idea.
+//
+//   - Aggregate folds one or more JSONL files into the canonical
+//     CAMPAIGN_<label>.json. Aggregation is a pure function of the
+//     recorded runs and the spec, so two full campaigns with one seed
+//     — or a killed-and-resumed one — produce byte-identical output.
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Schema versions of the two on-disk artifacts.
+const (
+	// RunSchema identifies one JSONL run record.
+	RunSchema = "repro-campaign/v1"
+	// AggSchema identifies the aggregate CAMPAIGN_*.json layout.
+	AggSchema = "repro-campaign-agg/v1"
+)
+
+// Solver axis values.
+const (
+	SolverCG           = "cg"
+	SolverPCG          = "pcg"
+	SolverPipelinedPCG = "pipelined-pcg"
+	SolverGMRES        = "gmres"
+	SolverFGMRES       = "fgmres"
+	SolverFTGMRES      = "ftgmres"
+)
+
+// Preconditioner axis values.
+const (
+	PrecondNone      = "none"
+	PrecondJacobi    = "jacobi"
+	PrecondBJILU     = "bj-ilu"
+	PrecondChebyshev = "chebyshev"
+)
+
+// Problem axis values.
+const (
+	ProblemPoisson  = "poisson"  // 5-point Laplacian (SPD)
+	ProblemAniso    = "aniso"    // anisotropic Poisson, eps 25:1 (SPD, constant diagonal)
+	ProblemConvDiff = "convdiff" // recirculating convection–diffusion (nonsymmetric)
+	ProblemHeat     = "heat"     // backward-Euler heat matrix I + ν·L (SPD, well conditioned)
+)
+
+// Fault-model axis values.
+const (
+	FaultNone          = "none"           // clean baseline
+	FaultBitflip       = "bitflip"        // per-element bit-flip rate on SpMV outputs
+	FaultRankKill      = "rankkill"       // process death, global-restart recovery
+	FaultFaultyPrecond = "faulty-precond" // bit-flip rate on preconditioner outputs
+)
+
+// FaultSpec selects one fault model and its intensity.
+type FaultSpec struct {
+	// Model is one of the Fault* constants.
+	Model string `json:"model"`
+	// Rate is the per-element flip probability per pass (bitflip and
+	// faulty-precond models).
+	Rate float64 `json:"rate,omitempty"`
+	// MTBF is the rank-kill model's mean number of operator
+	// applications between process failures (exponentially
+	// distributed; one victim rank per solve attempt).
+	MTBF float64 `json:"mtbf,omitempty"`
+}
+
+// String renders the fault axis value used in run keys and reports,
+// e.g. "bitflip@0.001" or "rankkill@300".
+func (f FaultSpec) String() string {
+	switch f.Model {
+	case FaultBitflip, FaultFaultyPrecond:
+		return fmt.Sprintf("%s@%g", f.Model, f.Rate)
+	case FaultRankKill:
+		return fmt.Sprintf("%s@%g", f.Model, f.MTBF)
+	default:
+		return f.Model
+	}
+}
+
+func (f FaultSpec) validate() error {
+	switch f.Model {
+	case FaultNone:
+	case FaultBitflip, FaultFaultyPrecond:
+		if f.Rate <= 0 || f.Rate >= 1 {
+			return fmt.Errorf("fault %s needs a rate in (0, 1), got %g", f.Model, f.Rate)
+		}
+	case FaultRankKill:
+		if f.MTBF <= 0 {
+			return fmt.Errorf("fault %s needs a positive MTBF, got %g", f.Model, f.MTBF)
+		}
+	default:
+		return fmt.Errorf("unknown fault model %q", f.Model)
+	}
+	return nil
+}
+
+// Spec declares one campaign: the grid axes, the replicate count per
+// cell, and the solve parameters shared by every run. A Spec is plain
+// data — campaigns are defined in code (QuickSpec, FullSpec) or loaded
+// from a JSON file, and the whole Spec is embedded in the aggregate
+// report for provenance.
+type Spec struct {
+	Name       string      `json:"name"`
+	Seed       uint64      `json:"seed"`
+	Solvers    []string    `json:"solvers"`
+	Preconds   []string    `json:"preconds"`
+	Problems   []string    `json:"problems"`
+	Ranks      []int       `json:"ranks"`
+	Faults     []FaultSpec `json:"faults"`
+	Replicates int         `json:"replicates"`
+	// Grid is the PDE mesh edge: every problem is generated on a
+	// Grid×Grid interior, so the operator dimension is Grid².
+	Grid        int     `json:"grid"`
+	Tol         float64 `json:"tol"`
+	MaxIter     int     `json:"max_iter"`
+	MaxRestarts int     `json:"max_restarts"` // rank-kill global-restart cap per run
+}
+
+var knownSolvers = map[string]bool{
+	SolverCG: true, SolverPCG: true, SolverPipelinedPCG: true,
+	SolverGMRES: true, SolverFGMRES: true, SolverFTGMRES: true,
+}
+
+var knownPreconds = map[string]bool{
+	PrecondNone: true, PrecondJacobi: true, PrecondBJILU: true, PrecondChebyshev: true,
+}
+
+var knownProblems = map[string]bool{
+	ProblemPoisson: true, ProblemAniso: true, ProblemConvDiff: true, ProblemHeat: true,
+}
+
+// spdProblems lists the symmetric positive definite workloads — the
+// ones the CG family and the Chebyshev preconditioner are valid on.
+var spdProblems = map[string]bool{
+	ProblemPoisson: true, ProblemAniso: true, ProblemHeat: true,
+}
+
+// Validate checks the spec for structural errors: unknown axis values,
+// empty axes, impossible rank counts. It does not prune incompatible
+// cells — that is Cells' job.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("campaign: spec needs a name")
+	}
+	if len(s.Solvers) == 0 || len(s.Preconds) == 0 || len(s.Problems) == 0 || len(s.Ranks) == 0 || len(s.Faults) == 0 {
+		return fmt.Errorf("campaign: spec %q has an empty axis", s.Name)
+	}
+	for _, v := range s.Solvers {
+		if !knownSolvers[v] {
+			return fmt.Errorf("campaign: unknown solver %q", v)
+		}
+	}
+	for _, v := range s.Preconds {
+		if !knownPreconds[v] {
+			return fmt.Errorf("campaign: unknown preconditioner %q", v)
+		}
+	}
+	for _, v := range s.Problems {
+		if !knownProblems[v] {
+			return fmt.Errorf("campaign: unknown problem %q", v)
+		}
+	}
+	if s.Grid < 4 {
+		return fmt.Errorf("campaign: grid %d too small (need ≥ 4)", s.Grid)
+	}
+	for _, p := range s.Ranks {
+		if p < 1 || p > s.Grid*s.Grid {
+			return fmt.Errorf("campaign: rank count %d outside [1, %d]", p, s.Grid*s.Grid)
+		}
+	}
+	for _, f := range s.Faults {
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	if s.Replicates < 1 {
+		return fmt.Errorf("campaign: replicates %d < 1", s.Replicates)
+	}
+	if s.Tol <= 0 || s.MaxIter < 1 {
+		return fmt.Errorf("campaign: need positive tol and max_iter")
+	}
+	if s.MaxRestarts < 0 {
+		return fmt.Errorf("campaign: max_restarts %d < 0", s.MaxRestarts)
+	}
+	return nil
+}
+
+// Cell is one point of the expanded campaign grid. Index is the cell's
+// position among the *runnable* cells of its spec — the value sharding
+// and per-run seed derivation key on.
+type Cell struct {
+	Index   int       `json:"index"`
+	Solver  string    `json:"solver"`
+	Precond string    `json:"precond"`
+	Problem string    `json:"problem"`
+	Ranks   int       `json:"ranks"`
+	Fault   FaultSpec `json:"fault"`
+}
+
+// Key returns the canonical cell identifier,
+// e.g. "pcg/jacobi/poisson/p4/bitflip@0.001".
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/%s/%s/p%d/%s", c.Solver, c.Precond, c.Problem, c.Ranks, c.Fault)
+}
+
+// RunKey returns the identifier of one replicate of this cell — the
+// key resume matching and aggregation dedup with.
+func (c Cell) RunKey(rep int) string {
+	return fmt.Sprintf("%s/r%d", c.Key(), rep)
+}
+
+// Compatible reports whether a (solver, precond, problem, fault)
+// combination is mathematically meaningful, and if not, why. The rules
+// mirror the solver-layer contracts:
+//
+//   - the CG family requires an SPD operator, and CG itself takes no
+//     preconditioner;
+//   - PCG requires an SPD preconditioner (Jacobi, Chebyshev — ILU(0)
+//     of an SPD matrix is not symmetric);
+//   - the pipelined PCG may only overlap communication-free
+//     preconditioners (none, Jacobi);
+//   - Chebyshev needs known spectral bounds, which only the SPD model
+//     problems provide;
+//   - FT-GMRES's preconditioner axis selects the *inner* stack: none
+//     or the faulty block-ILU of experiment P3;
+//   - the faulty-precond fault model needs a preconditioner to corrupt.
+func Compatible(solver, prec, problem string, fault FaultSpec) (bool, string) {
+	spd := spdProblems[problem]
+	switch solver {
+	case SolverCG:
+		if !spd {
+			return false, "cg needs an SPD operator"
+		}
+		if prec != PrecondNone {
+			return false, "cg takes no preconditioner"
+		}
+	case SolverPCG:
+		if !spd {
+			return false, "pcg needs an SPD operator"
+		}
+		if prec == PrecondBJILU {
+			return false, "ILU(0) is not symmetric, invalid inside pcg"
+		}
+	case SolverPipelinedPCG:
+		if !spd {
+			return false, "pipelined-pcg needs an SPD operator"
+		}
+		if prec != PrecondNone && prec != PrecondJacobi {
+			return false, "pipelined-pcg overlaps only communication-free SPD preconditioners"
+		}
+	case SolverGMRES, SolverFGMRES:
+		// any problem; chebyshev gated below
+	case SolverFTGMRES:
+		if prec != PrecondNone && prec != PrecondBJILU {
+			return false, "ftgmres inner phase supports none or bj-ilu"
+		}
+	}
+	if prec == PrecondChebyshev && !spd {
+		return false, "chebyshev needs SPD spectral bounds"
+	}
+	if fault.Model == FaultFaultyPrecond && prec == PrecondNone {
+		return false, "faulty-precond needs a preconditioner to corrupt"
+	}
+	return true, ""
+}
+
+// Cells expands the spec's grid in declaration order (solver, precond,
+// problem, ranks, fault — innermost last) and returns the runnable
+// cells with their indices assigned; incompatible combinations are
+// skipped and never consume an index, so sharding and seeding see a
+// dense cell space.
+func (s Spec) Cells() []Cell {
+	var out []Cell
+	for _, sol := range s.Solvers {
+		for _, prec := range s.Preconds {
+			for _, prob := range s.Problems {
+				for _, p := range s.Ranks {
+					for _, f := range s.Faults {
+						if ok, _ := Compatible(sol, prec, prob, f); !ok {
+							continue
+						}
+						out = append(out, Cell{
+							Index: len(out), Solver: sol, Precond: prec,
+							Problem: prob, Ranks: p, Fault: f,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Coverage summarises the distinct axis values the runnable cells
+// touch — the numbers the CI smoke campaign asserts floors on.
+type Coverage struct {
+	Cells, Runs                        int
+	Solvers, Preconds, Problems, Fault int
+}
+
+// Coverage computes the runnable-grid coverage of the spec.
+func (s Spec) Coverage() Coverage {
+	cells := s.Cells()
+	sol, prec, prob, flt := map[string]bool{}, map[string]bool{}, map[string]bool{}, map[string]bool{}
+	for _, c := range cells {
+		sol[c.Solver] = true
+		prec[c.Precond] = true
+		prob[c.Problem] = true
+		flt[c.Fault.Model] = true
+	}
+	return Coverage{
+		Cells: len(cells), Runs: len(cells) * s.Replicates,
+		Solvers: len(sol), Preconds: len(prec), Problems: len(prob), Fault: len(flt),
+	}
+}
+
+// mix64 is the SplitMix64 finalizer — the same mixer internal/machine's
+// RNG uses, applied here as a pure hash.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RunSeed derives the deterministic seed of one run by chaining the
+// SplitMix64 finalizer over the campaign seed, the cell index and the
+// replicate number. Every run owns an independent stream: reproducing
+// a single run needs only its (seed, cell, rep) triple, and no shard
+// layout or completion order can perturb another run's randomness.
+func RunSeed(seed uint64, cell, rep int) uint64 {
+	x := mix64(seed ^ 0x6a09e667f3bcc909)
+	x = mix64(x ^ uint64(cell)*0x9e3779b97f4a7c15)
+	x = mix64(x ^ uint64(rep)*0xbf58476d1ce4e5b9)
+	return x
+}
+
+// attemptSeed derives the seed of one global-restart attempt within a
+// run (rank-kill model: each restart redraws victim and kill time).
+func attemptSeed(runSeed uint64, attempt int) uint64 {
+	return mix64(runSeed ^ uint64(attempt)*0x94d049bb133111eb)
+}
+
+// bootstrapSeed derives the aggregation-time bootstrap stream for one
+// cell. It is disjoint from every run seed by construction (distinct
+// salt) so resampling can never correlate with the runs it resamples.
+func bootstrapSeed(seed uint64, cell int) uint64 {
+	return mix64(mix64(seed^0x424f4f5453545250) ^ uint64(cell)*0x9e3779b97f4a7c15)
+}
+
+// ParseShard parses a "k/n" shard selector into (k, n). Both parts
+// must be complete integers — trailing garbage ("0/2x") is rejected
+// rather than silently running the wrong slice of the grid.
+func ParseShard(s string) (k, n int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("campaign: shard %q is not k/n", s)
+	}
+	k, errK := strconv.Atoi(parts[0])
+	n, errN := strconv.Atoi(parts[1])
+	if errK != nil || errN != nil {
+		return 0, 0, fmt.Errorf("campaign: shard %q is not k/n", s)
+	}
+	if n < 1 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("campaign: shard %d/%d out of range", k, n)
+	}
+	return k, n, nil
+}

@@ -1,0 +1,150 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/comm"
+)
+
+// Options configures one engine invocation.
+type Options struct {
+	Spec Spec
+	// Shard and Shards select cells with Index % Shards == Shard, so n
+	// CI jobs running shards 0/n … (n-1)/n cover the grid exactly once.
+	Shard, Shards int
+	// Workers sizes the run pool (default GOMAXPROCS). Every run owns
+	// isolated worlds and an independent seed, so concurrency never
+	// affects results.
+	Workers int
+	// Out is the JSONL path results stream to.
+	Out string
+	// Resume keeps Out's existing records and skips their run keys —
+	// restarting a killed campaign finishes only the missing runs.
+	Resume bool
+	// Ledger, when non-nil, aggregates communication activity over
+	// every world of every run (campaign-wide totals).
+	Ledger *comm.Ledger
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// RunStats summarises one engine invocation.
+type RunStats struct {
+	Cells    int // runnable cells in this shard
+	Planned  int // runs this shard owns
+	Resumed  int // runs skipped because already recorded
+	Executed int // runs executed now
+	Errored  int // executed runs that recorded an Err
+}
+
+// Run executes the spec's shard on a bounded worker pool, streaming
+// records to opts.Out as runs complete. Results are independent of
+// worker count, shard layout and completion order: every run's
+// randomness comes only from RunSeed(spec.Seed, cell, rep).
+func Run(opts Options) (RunStats, error) {
+	var st RunStats
+	spec := opts.Spec
+	if err := spec.Validate(); err != nil {
+		return st, err
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if opts.Shard < 0 || opts.Shard >= opts.Shards {
+		return st, fmt.Errorf("campaign: shard %d/%d out of range", opts.Shard, opts.Shards)
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Out == "" {
+		return st, fmt.Errorf("campaign: engine needs an output path")
+	}
+
+	var done map[string]bool
+	if opts.Resume {
+		var err error
+		if done, err = ReadKeys(opts.Out); err != nil {
+			return st, err
+		}
+	}
+
+	type job struct {
+		cell Cell
+		rep  int
+	}
+	var jobs []job
+	for _, cell := range spec.Cells() {
+		if cell.Index%opts.Shards != opts.Shard {
+			continue
+		}
+		st.Cells++
+		for rep := 0; rep < spec.Replicates; rep++ {
+			st.Planned++
+			if done[cell.RunKey(rep)] {
+				st.Resumed++
+				continue
+			}
+			jobs = append(jobs, job{cell, rep})
+		}
+	}
+
+	w, err := NewWriter(opts.Out, opts.Resume)
+	if err != nil {
+		return st, err
+	}
+	defer w.Close()
+
+	progress := func(format string, args ...any) {
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, format+"\n", args...)
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		writeErr error
+	)
+	work := make(chan job)
+	for i := 0; i < opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				// Fail fast once a record write has failed: executing
+				// the rest of a large campaign whose results cannot be
+				// persisted would burn hours for nothing.
+				mu.Lock()
+				dead := writeErr != nil
+				mu.Unlock()
+				if dead {
+					continue
+				}
+				rec := ExecuteRun(&spec, j.cell, j.rep, opts.Ledger)
+				mu.Lock()
+				st.Executed++
+				if rec.Err != "" {
+					st.Errored++
+				}
+				if err := w.Write(rec); err != nil && writeErr == nil {
+					writeErr = err
+				}
+				mu.Unlock()
+				progress("run %-44s conv=%-5v iters=%-4d vt=%.3gs restarts=%d",
+					rec.Key, rec.Converged, rec.Iters, rec.VTime, rec.Restarts)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		work <- j
+	}
+	close(work)
+	wg.Wait()
+	if writeErr != nil {
+		return st, writeErr
+	}
+	return st, nil
+}

@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Record is one run's result — one line of the campaign's JSONL stream
+// (schema repro-campaign/v1). Records are self-describing: every axis
+// value and the derived seed ride along, so a JSONL file can be
+// aggregated, merged with other shards, or audited without its spec.
+type Record struct {
+	Schema  string `json:"schema"`
+	Key     string `json:"key"` // cell key + "/r<rep>" — the resume/dedup identity
+	Cell    int    `json:"cell"`
+	Rep     int    `json:"rep"`
+	Seed    uint64 `json:"seed"`
+	Solver  string `json:"solver"`
+	Precond string `json:"precond"`
+	Problem string `json:"problem"`
+	Ranks   int    `json:"ranks"`
+	Fault   string `json:"fault"`
+
+	Converged bool `json:"converged"`
+	Iters     int  `json:"iters"`
+	// VTime is virtual seconds to solution, summed over global-restart
+	// attempts (rank-kill): lost work of failed attempts included.
+	VTime float64 `json:"vtime"`
+	// Restarts counts solve attempts that lost a rank (rank-kill model).
+	Restarts int `json:"restarts,omitempty"`
+	// Discards counts unreliable inner results the reliable outer
+	// iteration rejected (ftgmres).
+	Discards int `json:"discards,omitempty"`
+	// Relres is the final relative residual; -1 when the solve diverged
+	// to a non-finite value.
+	Relres float64 `json:"relres"`
+	// Err records a configuration or unexpected communication error;
+	// empty for a run that executed to a verdict.
+	Err string `json:"err,omitempty"`
+}
+
+// Writer streams records to a JSONL file as they complete. Each record
+// is one O_APPEND write of one full line, so a killed campaign leaves
+// at worst a single torn trailing line — which the reader skips — and
+// every complete line is durable: the crash-safety contract -resume
+// relies on.
+type Writer struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// NewWriter opens path for appending records. With resume false the
+// file is truncated (a fresh campaign); with resume true existing
+// records are kept and new ones append after them.
+func NewWriter(path string, resume bool) (*Writer, error) {
+	flags := os.O_CREATE | os.O_RDWR | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if resume {
+		// Seal a torn trailing line (the append a kill cut short):
+		// without the newline, the first resumed record would be
+		// appended onto the fragment and both lines would be lost.
+		if st, err := f.Stat(); err == nil && st.Size() > 0 {
+			tail := make([]byte, 1)
+			if _, err := f.ReadAt(tail, st.Size()-1); err == nil && tail[0] != '\n' {
+				if _, err := f.Write([]byte("\n")); err != nil {
+					f.Close()
+					return nil, err
+				}
+			}
+		}
+	}
+	return &Writer{f: f}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err = w.f.Write(data)
+	return err
+}
+
+// Close closes the underlying file.
+func (w *Writer) Close() error { return w.f.Close() }
+
+// ReadRecords parses a JSONL file, skipping unparseable lines (the
+// torn tail of a killed campaign) and records from other schemas. A
+// missing file yields no records and no error — resuming into a fresh
+// path is a fresh start.
+func ReadRecords(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Schema != RunSchema {
+			continue
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// ReadKeys returns the set of run keys already recorded in the JSONL
+// files — what a resumed or merging campaign skips.
+func ReadKeys(paths ...string) (map[string]bool, error) {
+	keys := make(map[string]bool)
+	for _, p := range paths {
+		recs, err := ReadRecords(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			keys[r.Key] = true
+		}
+	}
+	return keys, nil
+}

@@ -1,0 +1,454 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/krylov"
+	"repro/internal/la"
+	"repro/internal/machine"
+	"repro/internal/precond"
+	"repro/internal/problems"
+	"repro/internal/srp"
+)
+
+// Env is the per-rank solve environment the engine assembles for a
+// Runner: the operator (already fault-wrapped according to the cell),
+// the preconditioner, this rank's right-hand-side slab, and the solve
+// parameters. Runners are SPMD functions — every rank of the world
+// calls the same Runner with its own Env.
+type Env struct {
+	C *comm.Comm
+	// Op is the operator the solver iterates on. For the bitflip model
+	// it is the fault-injected operator; for rank-kill the victim
+	// rank's copy self-destructs after its scheduled Apply count. For
+	// ftgmres it is the *trusted outer* operator (inner-phase faults
+	// are the runner's own business).
+	Op dist.Operator
+	// A is the replicated global matrix, for runners that assemble
+	// their own sub-stacks (ftgmres builds the faulty inner operator
+	// and preconditioner from it).
+	A *la.CSR
+	// M is the preconditioner (nil for none); already fault-wrapped
+	// under the faulty-precond model.
+	M krylov.DistPreconditioner
+	// B is this rank's slab of the right-hand side.
+	B []float64
+	// Precond and Fault describe the cell, for runners whose wiring
+	// depends on them (ftgmres).
+	Precond string
+	Fault   FaultSpec
+	// kill is the victim rank's shared kill schedule under the
+	// rank-kill model (nil elsewhere): a runner that builds additional
+	// operators (ftgmres's inner stack) must wrap them with it too, so
+	// MTBF counts *every* operator application the rank performs, not
+	// just the outer ones.
+	kill *killSchedule
+	// Seed is the attempt seed; runners deriving their own injector
+	// streams must offset it by rank.
+	Seed    uint64
+	Tol     float64
+	MaxIter int
+}
+
+// Outcome is what a Runner reports from rank 0 (the SPMD convention:
+// all ranks compute it, rank 0's copy is recorded).
+type Outcome struct {
+	Converged bool
+	Iters     int
+	Relres    float64
+	// Discards counts rejected unreliable inner results (ftgmres only).
+	Discards int
+	// VTime is the end-of-solve virtual clock.
+	VTime float64
+}
+
+// Runner adapts one solver family to the campaign engine: it runs a
+// single solve over the assembled Env and reports the Outcome.
+// Communication errors (rank death) propagate unchanged so the engine
+// can apply its global-restart policy.
+type Runner func(env *Env) (Outcome, error)
+
+// Runners returns the Runner for every solver axis value.
+func Runners() map[string]Runner {
+	return map[string]Runner{
+		SolverCG:           runCG,
+		SolverPCG:          runPCG,
+		SolverPipelinedPCG: runPipelinedPCG,
+		SolverGMRES:        runGMRES,
+		SolverFGMRES:       runFGMRES,
+		SolverFTGMRES:      runFTGMRES,
+	}
+}
+
+func fromStats(st krylov.Stats) Outcome {
+	return Outcome{
+		Converged: st.Converged,
+		Iters:     st.Iterations,
+		Relres:    st.FinalResidual,
+		VTime:     st.VirtualTime,
+	}
+}
+
+func runCG(env *Env) (Outcome, error) {
+	_, st, err := krylov.DistCG(env.C, env.Op, env.B, nil, krylov.DistOptions{Tol: env.Tol, MaxIter: env.MaxIter})
+	return fromStats(st), err
+}
+
+func runPCG(env *Env) (Outcome, error) {
+	_, st, err := krylov.DistPCG(env.C, env.Op, env.M, env.B, nil, krylov.DistOptions{Tol: env.Tol, MaxIter: env.MaxIter})
+	return fromStats(st), err
+}
+
+func runPipelinedPCG(env *Env) (Outcome, error) {
+	_, st, err := krylov.DistPipelinedPCG(env.C, env.Op, env.M, env.B, nil, krylov.DistOptions{Tol: env.Tol, MaxIter: env.MaxIter})
+	return fromStats(st), err
+}
+
+func runGMRES(env *Env) (Outcome, error) {
+	_, st, err := krylov.DistGMRES(env.C, env.Op, env.B, nil, krylov.DistGMRESOptions{
+		Restart: 30, Tol: env.Tol, MaxIter: env.MaxIter, Precon: env.M,
+	})
+	return fromStats(st), err
+}
+
+func runFGMRES(env *Env) (Outcome, error) {
+	_, st, err := krylov.DistFGMRES(env.C, env.Op, env.M, env.B, nil, krylov.DistGMRESOptions{
+		Restart: 30, Tol: env.Tol, MaxIter: env.MaxIter,
+	})
+	return fromStats(st), err
+}
+
+// ftgmresInnerIters is the fixed inner budget per outer step — the
+// paper's fixed-budget unreliable phase (§III-D).
+const ftgmresInnerIters = 10
+
+// runFTGMRES runs the distributed FT-GMRES stack: env.Op is the trusted
+// outer operator (possibly rank-kill wrapped); the unreliable inner
+// stack is built here with the cell's fault rate landing at the same
+// injection point as for the plain solvers — bitflip corrupts the
+// inner operator's SpMV outputs, faulty-precond only the inner
+// preconditioner's outputs. Either way the faults stay *inside* the
+// low-reliability phase, which is exactly the configuration the paper
+// argues survives them. Injector seeding mirrors srp.NewFaultyStack
+// (seed+rank for the operator, a disjoint offset for the
+// preconditioner) so the two injection points never share a stream.
+func runFTGMRES(env *Env) (Outcome, error) {
+	opRate, precRate := 0.0, 0.0
+	switch env.Fault.Model {
+	case FaultBitflip:
+		opRate = env.Fault.Rate
+	case FaultFaultyPrecond:
+		precRate = env.Fault.Rate
+	}
+	var inner dist.Operator = dist.NewCSR(env.C, env.A)
+	if env.kill != nil {
+		// The inner solve performs most of the rank's operator
+		// applications; it must tick the same MTBF countdown as the
+		// outer operator or ftgmres would look spuriously immune to
+		// rank kills.
+		inner = &killOp{inner: inner, sched: env.kill}
+	}
+	faulty := &srp.FaultyDistOp{
+		Inner:    inner,
+		Injector: fault.NewVectorInjector(env.Seed + uint64(env.C.Rank())).WithRate(opRate),
+	}
+	var innerM krylov.DistPreconditioner
+	if env.Precond == PrecondBJILU {
+		fm := &precond.Faulty{
+			Inner:    precond.NewBlockJacobiILU(env.C, env.A),
+			Injector: fault.NewVectorInjector(env.Seed + seedOffPrecond + uint64(env.C.Rank())).WithRate(precRate),
+		}
+		if err := fm.Setup(); err != nil {
+			return Outcome{}, err
+		}
+		innerM = fm
+	}
+	maxOuter := env.MaxIter / ftgmresInnerIters
+	if maxOuter < 10 {
+		maxOuter = 10
+	}
+	res, err := srp.DistFTGMRESPreconditioned(env.C, env.Op, faulty, innerM, env.B, srp.Options{
+		InnerIters: ftgmresInnerIters, Tol: env.Tol, MaxOuter: maxOuter, OuterRestart: 30,
+	})
+	out := fromStats(res.Stats)
+	out.Discards = res.InnerDiscards
+	return out, err
+}
+
+// Problem carries one generated workload: the replicated matrix, a
+// manufactured right-hand side, and — for SPD problems — the exact
+// spectral bounds the Chebyshev preconditioner needs.
+type Problem struct {
+	A          *la.CSR
+	RHS        []float64
+	LMin, LMax float64 // SPD spectral bounds; 0,0 when unavailable
+}
+
+// laplaceBounds returns the exact extreme eigenvalues of the
+// h²-scaled anisotropic 5-point Laplacian on a g×g interior grid.
+func laplaceBounds(g int, ex, ey float64) (lmin, lmax float64) {
+	c := math.Cos(math.Pi / float64(g+1))
+	return 2*ex*(1-c) + 2*ey*(1-c), 2*ex*(1+c) + 2*ey*(1+c)
+}
+
+// BuildProblem generates the named problem on a g×g interior grid.
+func BuildProblem(name string, g int) (Problem, error) {
+	var p Problem
+	switch name {
+	case ProblemPoisson:
+		p.A = problems.Poisson2D(g, g)
+		p.LMin, p.LMax = laplaceBounds(g, 1, 1)
+	case ProblemAniso:
+		const ex, ey = 25.0, 1.0
+		p.A = problems.AnisoPoisson2D(g, g, ex, ey)
+		p.LMin, p.LMax = laplaceBounds(g, ex, ey)
+	case ProblemConvDiff:
+		p.A = problems.ConvDiffRot2D(g, g, 40)
+	case ProblemHeat:
+		// Backward-Euler heat matrix I + ν·L: the implicit time-step
+		// operator of the LFLR heat application, SPD with spectrum
+		// 1 + ν·λ(L).
+		const nu = 0.5
+		a := problems.Poisson2D(g, g)
+		for i := 0; i < a.Rows; i++ {
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				a.Val[q] *= nu
+				if a.ColIdx[q] == i {
+					a.Val[q]++
+				}
+			}
+		}
+		p.A = a
+		lmin, lmax := laplaceBounds(g, 1, 1)
+		p.LMin, p.LMax = 1+nu*lmin, 1+nu*lmax
+	default:
+		return p, fmt.Errorf("campaign: unknown problem %q", name)
+	}
+	p.RHS, _ = problems.ManufacturedRHS(p.A)
+	return p, nil
+}
+
+// buildPrecond constructs the named preconditioner over the trusted
+// operator. Chebyshev applies the *clean* operator internally — faults
+// target the solver's operator or the preconditioner output, never
+// both through one wrapper.
+func buildPrecond(c *comm.Comm, name string, p Problem, trusted dist.Operator) (precond.Preconditioner, error) {
+	var m precond.Preconditioner
+	switch name {
+	case PrecondJacobi:
+		m = precond.NewJacobi(c, p.A)
+	case PrecondBJILU:
+		m = precond.NewBlockJacobiILU(c, p.A)
+	case PrecondChebyshev:
+		m = precond.NewChebyshev(c, trusted, p.LMin, p.LMax, 6)
+	default:
+		return nil, fmt.Errorf("campaign: unknown preconditioner %q", name)
+	}
+	return m, m.Setup()
+}
+
+// Per-run injector stream offsets: the solver-operator and
+// preconditioner injectors of one rank must be independent.
+const (
+	seedOffOp      = 0
+	seedOffPrecond = 1 << 16
+	killSalt       = 0x4b494c4c52414e4b // "KILLRANK"
+)
+
+// killSchedule is the victim rank's death countdown under the
+// rank-kill model: one counter over every operator application the
+// rank performs, shared by all killOp wrappers of the attempt so a
+// solver that splits work across operators (ftgmres's outer/inner
+// stack) sees the same fault exposure per application as one that
+// doesn't. A rank runs on a single goroutine, so the counter needs no
+// locking. The death clock is the rank's virtual time at the strike,
+// recorded into the attempt state for the engine's lost-work
+// accounting.
+type killSchedule struct {
+	c       *comm.Comm
+	att     *attemptState
+	applies int
+	killAt  int
+}
+
+// tick counts one operator application; on the scheduled one it
+// records the death clock and kills the rank.
+func (k *killSchedule) tick() error {
+	k.applies++
+	if k.applies == k.killAt {
+		k.att.death = k.c.Clock()
+		return k.c.Die()
+	}
+	return nil
+}
+
+// killOp wraps one of the victim rank's operators with the shared
+// schedule. Only the victim rank wraps; all other ranks apply clean
+// operators.
+type killOp struct {
+	inner dist.Operator
+	sched *killSchedule
+}
+
+// Apply implements dist.Operator.
+func (k *killOp) Apply(x, y []float64) error {
+	if err := k.sched.tick(); err != nil {
+		return err
+	}
+	return k.inner.Apply(x, y)
+}
+
+// LocalLen implements dist.Operator.
+func (k *killOp) LocalLen() int { return k.inner.LocalLen() }
+
+// GlobalLen implements dist.Operator.
+func (k *killOp) GlobalLen() int { return k.inner.GlobalLen() }
+
+// NormInf implements dist.Operator.
+func (k *killOp) NormInf() float64 { return k.inner.NormInf() }
+
+// attemptState is the cross-rank blackboard of one solve attempt. Each
+// field has exactly one writer (death: the victim rank; out: rank 0),
+// and the supervisor reads after World.Wait, so no locking is needed.
+type attemptState struct {
+	death float64 // victim's virtual clock at death; <0 if none died
+	out   Outcome
+}
+
+// runRank is the SPMD body of one solve attempt: assemble the env for
+// this rank (fault wiring included) and dispatch the cell's Runner.
+func runRank(c *comm.Comm, spec *Spec, cell Cell, p Problem, seed uint64, att *attemptState) error {
+	trusted := dist.NewCSR(c, p.A)
+	var op dist.Operator = trusted
+	var kill *killSchedule
+
+	switch cell.Fault.Model {
+	case FaultBitflip:
+		// ftgmres routes the flips into its own inner stack; wrapping
+		// the outer operator too would corrupt the reliable phase.
+		if cell.Solver != SolverFTGMRES {
+			op = &srp.FaultyDistOp{
+				Inner:    trusted,
+				Injector: fault.NewVectorInjector(seed + seedOffOp + uint64(c.Rank())).WithRate(cell.Fault.Rate),
+			}
+		}
+	case FaultRankKill:
+		// Every rank draws the same (victim, killAt) pair from the
+		// attempt seed; only the victim wraps its operator. A single
+		// victim per attempt keeps the death clock — and with it the
+		// recorded lost work — deterministic under any scheduling.
+		krng := machine.NewRNG(seed ^ killSalt)
+		victim := krng.Intn(c.Size())
+		killAt := 1 + int(krng.ExpFloat64()*cell.Fault.MTBF)
+		if c.Rank() == victim {
+			kill = &killSchedule{c: c, att: att, killAt: killAt}
+			op = &killOp{inner: trusted, sched: kill}
+		}
+	}
+
+	var m krylov.DistPreconditioner
+	if cell.Solver != SolverFTGMRES && cell.Precond != PrecondNone {
+		pc, err := buildPrecond(c, cell.Precond, p, trusted)
+		if err != nil {
+			return err
+		}
+		if cell.Fault.Model == FaultFaultyPrecond {
+			pc = &precond.Faulty{
+				Inner:    pc,
+				Injector: fault.NewVectorInjector(seed + seedOffPrecond + uint64(c.Rank())).WithRate(cell.Fault.Rate),
+			}
+		}
+		m = pc
+	}
+
+	run, ok := Runners()[cell.Solver]
+	if !ok {
+		return fmt.Errorf("campaign: unknown solver %q", cell.Solver)
+	}
+	out, err := run(&Env{
+		C: c, Op: op, A: p.A, M: m, B: trusted.Scatter(p.RHS),
+		Precond: cell.Precond, Fault: cell.Fault, Seed: seed, kill: kill,
+		Tol: spec.Tol, MaxIter: spec.MaxIter,
+	})
+	if err != nil {
+		return err
+	}
+	if c.Rank() == 0 {
+		att.out = out
+	}
+	return nil
+}
+
+// isRankFailure reports whether err is the (wrapped) signature of a
+// process death — the errors the rank-kill model's global restart
+// recovers from.
+func isRankFailure(err error) bool {
+	return errors.Is(err, comm.ErrKilled) || errors.Is(err, comm.ErrRankFailed)
+}
+
+// ExecuteRun executes one (cell, replicate) of the spec and returns
+// its Record. It never fails as a function: configuration errors are
+// captured in the record's Err field so one broken cell cannot abort a
+// campaign. led, when non-nil, aggregates the communication activity
+// of every world the run creates.
+//
+// Under the rank-kill model the run is a checkpoint/restart loop at
+// solve granularity: an attempt that loses a rank charges the victim's
+// death-time clock as lost work and restarts the solve from scratch
+// with a re-drawn failure, up to MaxRestarts times — the global-restart
+// baseline the paper's resilient algorithms are measured against.
+func ExecuteRun(spec *Spec, cell Cell, rep int, led *comm.Ledger) Record {
+	rec := Record{
+		Schema: RunSchema, Key: cell.RunKey(rep), Cell: cell.Index, Rep: rep,
+		Solver: cell.Solver, Precond: cell.Precond, Problem: cell.Problem,
+		Ranks: cell.Ranks, Fault: cell.Fault.String(),
+		Seed: RunSeed(spec.Seed, cell.Index, rep),
+	}
+	p, err := BuildProblem(cell.Problem, spec.Grid)
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	maxAttempts := 1
+	if cell.Fault.Model == FaultRankKill {
+		maxAttempts = spec.MaxRestarts + 1
+	}
+	var vtime float64
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		aseed := attemptSeed(rec.Seed, attempt)
+		att := &attemptState{death: -1}
+		cfg := comm.Config{Ranks: cell.Ranks, Cost: machine.DefaultCostModel(), Seed: aseed, Ledger: led}
+		err := comm.Run(cfg, func(c *comm.Comm) error {
+			return runRank(c, spec, cell, p, aseed, att)
+		})
+		if err != nil {
+			if isRankFailure(err) && cell.Fault.Model == FaultRankKill {
+				if att.death > 0 {
+					vtime += att.death // work lost to the failure
+				}
+				rec.Restarts++
+				continue
+			}
+			rec.Err = err.Error()
+			break
+		}
+		vtime += att.out.VTime
+		rec.Converged = att.out.Converged
+		rec.Iters = att.out.Iters
+		rec.Discards = att.out.Discards
+		rec.Relres = att.out.Relres
+		break
+	}
+	rec.VTime = vtime
+	// JSON cannot carry NaN/Inf (a diverged solve's residual): clamp to
+	// the -1 sentinel, documented in docs/CAMPAIGNS.md.
+	if math.IsNaN(rec.Relres) || math.IsInf(rec.Relres, 0) {
+		rec.Relres = -1
+	}
+	return rec
+}

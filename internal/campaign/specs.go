@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// QuickSpec is the CI smoke campaign: small grid, 3 replicates, two
+// shards finish in seconds — yet it still covers 132 runnable cells
+// across 3 solvers, 4 preconditioners, 2 problems, 2 rank counts and
+// 3 fault models (clean, sustained bit flips, rank kills), enough for
+// the aggregate to show the paper's statistical separation.
+func QuickSpec() Spec {
+	return Spec{
+		Name:     "quick",
+		Seed:     7,
+		Solvers:  []string{SolverPCG, SolverGMRES, SolverFGMRES},
+		Preconds: []string{PrecondNone, PrecondJacobi, PrecondBJILU, PrecondChebyshev},
+		Problems: []string{ProblemPoisson, ProblemAniso},
+		Ranks:    []int{2, 4},
+		Faults: []FaultSpec{
+			{Model: FaultNone},
+			{Model: FaultBitflip, Rate: 1e-3},
+			{Model: FaultRankKill, MTBF: 300},
+		},
+		Replicates:  3,
+		Grid:        12,
+		Tol:         1e-6,
+		MaxIter:     400,
+		MaxRestarts: 3,
+	}
+}
+
+// FullSpec is the production sweep: every solver family (the CG line,
+// the GMRES line, FT-GMRES), every preconditioner, all four problems,
+// rank counts to 64 and five fault configurations — 4k+ runnable
+// cells, 40k+ runs. Shard it (-shard k/n) across machines.
+func FullSpec() Spec {
+	return Spec{
+		Name:     "full",
+		Seed:     7,
+		Solvers:  []string{SolverCG, SolverPCG, SolverPipelinedPCG, SolverGMRES, SolverFGMRES, SolverFTGMRES},
+		Preconds: []string{PrecondNone, PrecondJacobi, PrecondBJILU, PrecondChebyshev},
+		Problems: []string{ProblemPoisson, ProblemAniso, ProblemConvDiff, ProblemHeat},
+		Ranks:    []int{2, 4, 8, 16, 32, 64},
+		Faults: []FaultSpec{
+			{Model: FaultNone},
+			{Model: FaultBitflip, Rate: 1e-4},
+			{Model: FaultBitflip, Rate: 1e-3},
+			{Model: FaultRankKill, MTBF: 500},
+			{Model: FaultFaultyPrecond, Rate: 1e-3},
+		},
+		Replicates:  10,
+		Grid:        24,
+		Tol:         1e-8,
+		MaxIter:     1000,
+		MaxRestarts: 5,
+	}
+}
+
+// LoadSpec resolves a spec reference: the built-in names "quick" and
+// "full", or a path to a JSON file containing a Spec.
+func LoadSpec(ref string) (Spec, error) {
+	switch ref {
+	case "quick":
+		return QuickSpec(), nil
+	case "full":
+		return FullSpec(), nil
+	}
+	data, err := os.ReadFile(ref)
+	if err != nil {
+		return Spec{}, fmt.Errorf("campaign: spec %q is not built-in and not readable: %w", ref, err)
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("campaign: %s: %w", ref, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("campaign: %s: %w", ref, err)
+	}
+	return s, nil
+}

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"errors"
+	"sync"
 	"testing"
 )
 
@@ -148,6 +149,115 @@ func TestIBarrier(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestKillDuringNonBlockingAllreduce races an external Kill against
+// ranks that have posted a StartAllreduce and sit in WaitInto — the
+// non-blocking path the earlier tests never exercised. The timing of
+// the kill relative to each survivor's wait is genuinely racy, so the
+// assertion is the failure-semantics invariant rather than one fixed
+// outcome: a WaitInto either returns the complete, correct reduction
+// or ErrRankFailed (ErrKilled on the victim itself) — never garbage,
+// never a hang. Many trials with the victim at different post stages
+// cover the completed-before-kill, killed-while-parked and
+// killed-before-post interleavings; `go test -race` additionally vets
+// the locking.
+func TestKillDuringNonBlockingAllreduce(t *testing.T) {
+	const P = 4
+	for trial := 0; trial < 40; trial++ {
+		w := NewWorld(testConfig(P))
+		victim := trial % P
+		victimPosts := trial%3 != 0 // sometimes the victim never posts
+		type res struct {
+			rank int
+			sum  float64
+			n    int
+			err  error
+		}
+		posted := make(chan struct{}, P)
+		results := make(chan res, P)
+		for r := 0; r < P; r++ {
+			w.Spawn(r, 0, func(c *Comm) error {
+				if c.Rank() == victim && !victimPosts {
+					posted <- struct{}{}
+					return nil // exits without posting; Kill hits it outside any op
+				}
+				buf := []float64{1}
+				var req Request
+				c.StartAllreduce(buf, OpSum, &req)
+				posted <- struct{}{}
+				n, err := req.WaitInto(buf)
+				results <- res{c.Rank(), buf[0], n, err}
+				return err
+			})
+		}
+		go func() {
+			<-posted // overlap the kill with the in-flight collective
+			w.Kill(victim)
+		}()
+		w.Wait()
+		close(results)
+		for got := range results {
+			switch {
+			case got.err == nil:
+				if got.n != 1 || got.sum != P {
+					t.Fatalf("trial %d rank %d: completed reduction returned %v (n=%d), want %v",
+						trial, got.rank, got.sum, got.n, float64(P))
+				}
+			case got.rank == victim:
+				if !errors.Is(got.err, ErrKilled) {
+					t.Fatalf("trial %d: victim got %v, want ErrKilled", trial, got.err)
+				}
+			default:
+				if !errors.Is(got.err, ErrRankFailed) {
+					t.Fatalf("trial %d rank %d: survivor got %v, want ErrRankFailed", trial, got.rank, got.err)
+				}
+			}
+		}
+	}
+}
+
+// TestKillBetweenPostAndWait pins the deterministic corner of the
+// non-blocking failure semantics: an Allreduce completes when the last
+// rank posts, so a victim that posts and *then* dies must not abort
+// the survivors — their WaitInto holds a completed slot and returns
+// the full reduction, not ErrRankFailed.
+func TestKillBetweenPostAndWait(t *testing.T) {
+	const P = 3
+	w := NewWorld(testConfig(P))
+	var allPosted sync.WaitGroup
+	allPosted.Add(P)
+	died := make(chan struct{})
+	errs := make(chan error, P-1)
+	for r := 0; r < P; r++ {
+		w.Spawn(r, 0, func(c *Comm) error {
+			buf := []float64{1}
+			var req Request
+			c.StartAllreduce(buf, OpSum, &req)
+			allPosted.Done()
+			if c.Rank() == 0 {
+				allPosted.Wait() // the collective is complete before the death
+				err := c.Die()
+				close(died)
+				return err
+			}
+			<-died // guarantee the death precedes every survivor's wait
+			n, err := req.WaitInto(buf)
+			if err == nil && (n != 1 || buf[0] != P) {
+				t.Errorf("rank %d: completed reduction returned %v (n=%d)", c.Rank(), buf[0], n)
+			}
+			errs <- err
+			return nil
+		})
+	}
+	w.Wait()
+	for i := 0; i < P-1; i++ {
+		// All ranks posted before the death, so the slot completed; the
+		// survivors must receive the full reduction.
+		if err := <-errs; err != nil {
+			t.Errorf("survivor of a post-then-die victim got %v, want completed result", err)
+		}
 	}
 }
 
