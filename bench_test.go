@@ -1,12 +1,13 @@
 // Package repro's root benchmark suite: one testing.B benchmark per
-// experiment in DESIGN.md's index (F1–F10, T1–T4, A1–A2), plus the
-// kernel micro-benchmarks. The kernels come from the same registry
-// cmd/benchdiff measures (bench.Kernels), so `go test -bench` and the
-// perf harness always agree on what they time; the experiment
-// benchmarks attach virtual-time and communication metrics from the
-// comm.Ledger so the simulated cost model is visible next to the
-// wall-clock. The rendered experiment tables themselves come from
-// cmd/resilient-bench (see EXPERIMENTS.md).
+// experiment in the registry's index (F1–F10, T1–T4, A1–A2 — see
+// docs/BENCHMARKING.md), plus the kernel micro-benchmarks. The kernels
+// come from the same registry cmd/benchdiff measures (bench.Kernels),
+// so `go test -bench` and the perf harness always agree on what they
+// time; the experiment benchmarks attach virtual-time and
+// communication metrics from the comm.Ledger so the simulated cost
+// model is visible next to the wall-clock. The rendered experiment
+// tables themselves come from cmd/resilient-bench (the layer map in
+// docs/ARCHITECTURE.md shows where each experiment's stack lives).
 package repro
 
 import (
@@ -42,7 +43,7 @@ func runExperiment(b *testing.B, id string) {
 	b.ReportMetric(snap.Stats.Flops, "flops/op")
 }
 
-// --- One benchmark per table/figure (DESIGN.md §3) ---
+// --- One benchmark per table/figure of the experiment registry ---
 
 func BenchmarkF1SkepticalGMRES(b *testing.B)     { runExperiment(b, "F1") }
 func BenchmarkT1DetectionMatrix(b *testing.B)    { runExperiment(b, "T1") }

@@ -1,8 +1,11 @@
-// Command docscheck is the CI docs gate: it fails on broken relative
-// links in the repository's markdown files and on exported identifiers
-// in the godoc-gated packages (internal/precond, internal/campaign)
-// that lack doc comments. It takes the repository root as an optional
-// argument (default ".") and exits non-zero with one line per problem.
+// Command docscheck is the CI docs gate. It fails on: broken relative
+// links in the repository's markdown files; references to *.md files
+// inside Go comments that point at files which do not exist (the drift
+// that once left package docs citing design notes nobody wrote); and
+// exported identifiers in the godoc-gated packages (internal/precond,
+// internal/campaign, internal/service) that lack doc comments. It
+// takes the repository root as an optional argument (default ".") and
+// exits non-zero with one line per problem.
 //
 //	go run ./cmd/docscheck
 package main
@@ -44,9 +47,10 @@ func main() {
 var godocGated = []string{
 	filepath.Join("internal", "precond"),
 	filepath.Join("internal", "campaign"),
+	filepath.Join("internal", "service"),
 }
 
-// run performs both checks and returns the sorted problem list.
+// run performs all checks and returns the sorted problem list.
 func run(root string) ([]string, error) {
 	var problems []string
 	links, err := checkLinks(root)
@@ -54,6 +58,11 @@ func run(root string) ([]string, error) {
 		return nil, err
 	}
 	problems = append(problems, links...)
+	refs, err := checkGoCommentRefs(root)
+	if err != nil {
+		return nil, err
+	}
+	problems = append(problems, refs...)
 	for _, pkg := range godocGated {
 		docs, err := checkExportedDocs(filepath.Join(root, pkg))
 		if err != nil {
@@ -106,6 +115,68 @@ func checkLinks(root string) ([]string, error) {
 			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
 			if _, err := os.Stat(resolved); err != nil {
 				problems = append(problems, fmt.Sprintf("%s: broken relative link %q", filepath.ToSlash(rel), m[1]))
+			}
+		}
+		return nil
+	})
+	return problems, err
+}
+
+// mdRef matches a documentation-file reference inside prose: a
+// non-empty path stem ending in ".md". The leading character class
+// keeps glob-ish mentions like "*.md" out.
+var mdRef = regexp.MustCompile(`[A-Za-z0-9][A-Za-z0-9_./-]*\.md\b`)
+
+// urlRef matches absolute URLs; they are stripped before scanning so a
+// comment citing e.g. https://example.com/blob/main/README.md is not
+// mistaken for a repository-relative reference.
+var urlRef = regexp.MustCompile(`[a-zA-Z][a-zA-Z0-9+.-]*://\S+`)
+
+// checkGoCommentRefs walks every *.go file under root and verifies
+// that each *.md file its comments mention exists — resolved against
+// the repository root (the convention for cross-package references
+// like "docs/SERVICE.md") or against the file's own directory. This is
+// the gate that keeps Go package docs from citing documentation that
+// was never written or has been renamed: markdown links are already
+// covered by checkLinks, but Go comments are plain prose and used to
+// drift silently.
+func checkGoCommentRefs(root string) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		seen := map[string]bool{}
+		for _, cg := range file.Comments {
+			text := urlRef.ReplaceAllString(cg.Text(), " ")
+			for _, m := range mdRef.FindAllString(text, -1) {
+				if seen[m] {
+					continue
+				}
+				seen[m] = true
+				target := filepath.FromSlash(m)
+				if _, err := os.Stat(filepath.Join(root, target)); err == nil {
+					continue
+				}
+				if _, err := os.Stat(filepath.Join(filepath.Dir(path), target)); err == nil {
+					continue
+				}
+				problems = append(problems, fmt.Sprintf("%s: comment references %q, which does not exist", filepath.ToSlash(rel), m))
 			}
 		}
 		return nil

@@ -38,6 +38,38 @@ func TestBrokenLinkIsCaught(t *testing.T) {
 	}
 }
 
+// TestGoCommentRefIsCaught exercises the Go-comment doc-reference
+// checker on a synthetic tree: a comment citing a missing .md file is
+// flagged; root-relative, file-relative and glob-ish mentions are not.
+func TestGoCommentRefIsCaught(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "docs", "REAL.md"), []byte("# real\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "LOCAL.md"), []byte("# local\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `// Package p cites docs/REAL.md (exists, root-relative), LOCAL.md
+// (exists, file-relative), every *.md glob (not a reference), an
+// external https://example.com/blob/main/ELSEWHERE.md URL (not a
+// repository reference), and GHOST.md, which does not exist.
+package p
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := checkGoCommentRefs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "GHOST.md") {
+		t.Errorf("want exactly GHOST.md flagged, got %v", problems)
+	}
+}
+
 // TestUndocumentedExportIsCaught exercises the godoc checker's failure
 // path on a synthetic package.
 func TestUndocumentedExportIsCaught(t *testing.T) {

@@ -1,5 +1,6 @@
 // Command resilient-bench regenerates the experiment tables of this
-// reproduction (DESIGN.md §3). Each experiment instantiates one claim of
+// reproduction (the registry is documented in docs/BENCHMARKING.md).
+// Each experiment instantiates one claim of
 // Heroux, "Toward Resilient Algorithms and Applications" (HPDC 2013).
 // Run `resilient-bench -h` for the full flag set — the help text is
 // generated from the flags the program actually parses (and a test pins

@@ -1,0 +1,350 @@
+// Command solverd runs the repro-solve/v1 service and its clients: a
+// long-running HTTP server that schedules solve and campaign requests
+// on a bounded worker pool with cross-request setup caching (serve), a
+// campaign submitter that uses the engine as a load generator against
+// a running server (submit), and a self-contained end-to-end check
+// that byte-diffs served against direct execution (smoke). Run
+// `solverd <mode> -h` for each flag set — a test pins every usage
+// snippet in this comment, the README and docs/SERVICE.md against the
+// flags the program actually parses.
+//
+// Common invocations:
+//
+//	solverd serve -addr :8077                                          # start the service
+//	solverd serve -addr :8077 -workers 8 -queue 64                     # sized pool
+//	solverd submit -addr http://localhost:8077 -spec quick -label dev  # campaign through the service
+//	solverd submit -addr http://localhost:8077 -spec quick -shard 0/2 -runs shard0.jsonl -no-agg
+//	solverd smoke -spec quick -label ci                                # in-process served-vs-direct diff
+//
+// The spec is "quick", "full", or a path to a JSON Spec file; see
+// docs/SERVICE.md for the wire schema and docs/CAMPAIGNS.md for the
+// campaign formats.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/service"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "submit":
+		err = runSubmit(os.Args[2:])
+	case "smoke":
+		err = runSmoke(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "solverd: unknown mode %q\n\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "solverd:", strings.TrimPrefix(err.Error(), "campaign: "))
+		os.Exit(1)
+	}
+}
+
+func usage(w *os.File) {
+	fmt.Fprintf(w, "usage: solverd <mode> [flags]\n\n")
+	fmt.Fprintf(w, "modes:\n")
+	fmt.Fprintf(w, "  serve    run the solve service (HTTP, repro-solve/v1)\n")
+	fmt.Fprintf(w, "  submit   run a campaign against a live server (engine as load generator)\n")
+	fmt.Fprintf(w, "  smoke    start an in-process server, submit a campaign, byte-diff vs direct\n")
+}
+
+// serveOptions carries the serve-mode flags.
+type serveOptions struct {
+	addr    string
+	workers int
+	queue   int
+	drain   time.Duration
+}
+
+// newServeFlags builds the serve flag set; keeping construction in one
+// function lets main_test.go verify documented invocations parse.
+func newServeFlags() (*flag.FlagSet, *serveOptions) {
+	o := &serveOptions{}
+	fs := flag.NewFlagSet("solverd serve", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8077", "listen address")
+	fs.IntVar(&o.workers, "workers", 0, "solve pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&o.queue, "queue", 0, "pending-solve queue depth (0 = 4x workers)")
+	fs.DurationVar(&o.drain, "drain", 30*time.Second, "shutdown drain deadline; in-flight requests past it are cut (size to your longest campaign request)")
+	return fs, o
+}
+
+func runServe(args []string) error {
+	fs, o := newServeFlags()
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := service.New(service.Options{Workers: o.workers, Queue: o.queue})
+	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "solverd: serving repro-solve/v1 on %s\n", ln.Addr())
+
+	// Graceful shutdown: stop accepting, drain in-flight solves, exit.
+	// idle carries whether the drain completed within the deadline.
+	idle := make(chan bool, 1)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintf(os.Stderr, "solverd: draining in-flight solves (deadline %s)...\n", o.drain)
+		ctx, cancel := context.WithTimeout(context.Background(), o.drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			// Deadline hit with requests still in flight: actually cut
+			// them — Shutdown on expiry only stops waiting, it severs
+			// nothing — and skip the pool drain below, which would
+			// otherwise execute every queued run of the requests just
+			// cut.
+			fmt.Fprintf(os.Stderr, "solverd: drain deadline exceeded, cutting remaining requests (%v)\n", err)
+			hs.Close()
+			idle <- false
+			return
+		}
+		idle <- true
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	if drained := <-idle; !drained {
+		fmt.Fprintln(os.Stderr, "solverd: cut, bye")
+		return nil
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "solverd: drained, bye")
+	return nil
+}
+
+// submitOptions carries the submit-mode flags.
+type submitOptions struct {
+	addr    string
+	spec    string
+	label   string
+	seed    uint64
+	shard   string
+	runs    string
+	resume  bool
+	workers int
+	noAgg   bool
+	quiet   bool
+}
+
+// newSubmitFlags builds the submit flag set (see newServeFlags).
+func newSubmitFlags() (*flag.FlagSet, *submitOptions) {
+	o := &submitOptions{}
+	fs := flag.NewFlagSet("solverd submit", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "http://localhost:8077", "server base URL")
+	fs.StringVar(&o.spec, "spec", "quick", "campaign spec: quick, full, or a JSON file path")
+	fs.StringVar(&o.label, "label", "dev", "label; names the default output files")
+	fs.Uint64Var(&o.seed, "seed", 0, "override the spec's campaign seed (0 keeps it)")
+	fs.StringVar(&o.shard, "shard", "0/1", "submit only cells with index%n == k, as k/n")
+	fs.StringVar(&o.runs, "runs", "", "JSONL run-record path (default campaign_<label>.jsonl)")
+	fs.BoolVar(&o.resume, "resume", false, "keep existing records in -runs and submit only missing runs")
+	fs.IntVar(&o.workers, "workers", 0, "concurrent in-flight requests (0 = GOMAXPROCS)")
+	fs.BoolVar(&o.noAgg, "no-agg", false, "skip aggregation after the run (sharded jobs)")
+	fs.BoolVar(&o.quiet, "quiet", false, "suppress per-run progress lines")
+	return fs, o
+}
+
+func runSubmit(args []string) error {
+	fs, o := newSubmitFlags()
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := campaign.LoadSpec(o.spec)
+	if err != nil {
+		return err
+	}
+	if o.seed != 0 {
+		spec.Seed = o.seed
+	}
+	shard, shards, err := campaign.ParseShard(o.shard)
+	if err != nil {
+		return err
+	}
+	cl := &service.Client{Base: o.addr}
+	if err := cl.Healthz(); err != nil {
+		return fmt.Errorf("server %s is not healthy: %w", o.addr, err)
+	}
+	runsPath := o.runs
+	if runsPath == "" {
+		runsPath = "campaign_" + o.label + ".jsonl"
+	}
+	opts := campaign.Options{
+		Spec: spec, Shard: shard, Shards: shards, Workers: o.workers,
+		Out: runsPath, Resume: o.resume, Exec: cl.Exec,
+	}
+	if !o.quiet {
+		opts.Progress = os.Stderr
+	}
+	st, err := campaign.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard %d/%d via %s: %d cells, %d runs (%d resumed, %d executed, %d errored) -> %s\n",
+		shard, shards, o.addr, st.Cells, st.Planned, st.Resumed, st.Executed, st.Errored, runsPath)
+	if stats, err := cl.Stats(); err == nil {
+		fmt.Printf("server: %d completed, setup cache %d hits / %d misses, problem cache %d hits / %d misses\n",
+			stats.Completed, stats.Cache.SetupHits, stats.Cache.SetupMisses,
+			stats.Cache.ProblemHits, stats.Cache.ProblemMisses)
+	}
+	if o.noAgg {
+		return nil
+	}
+	if shards != 1 {
+		return fmt.Errorf("a single shard is incomplete; aggregate all shards with campaign -aggregate-only (or pass -no-agg)")
+	}
+	agg, err := campaign.AggregateFiles(spec, o.label, runsPath)
+	if err != nil {
+		return err
+	}
+	aggPath := "CAMPAIGN_" + o.label + ".json"
+	if err := campaign.WriteAggregate(agg, aggPath); err != nil {
+		return err
+	}
+	fmt.Printf("aggregated %d runs (%d successes) over %d cells -> %s\n",
+		agg.Runs, agg.Successes, len(agg.Cells), aggPath)
+	return nil
+}
+
+// smokeOptions carries the smoke-mode flags.
+type smokeOptions struct {
+	spec    string
+	label   string
+	workers int
+}
+
+// newSmokeFlags builds the smoke flag set (see newServeFlags).
+func newSmokeFlags() (*flag.FlagSet, *smokeOptions) {
+	o := &smokeOptions{}
+	fs := flag.NewFlagSet("solverd smoke", flag.ContinueOnError)
+	fs.StringVar(&o.spec, "spec", "quick", "campaign spec: quick, full, or a JSON file path")
+	fs.StringVar(&o.label, "label", "smoke", "label; names the output aggregates")
+	fs.IntVar(&o.workers, "workers", 0, "pool size and submit concurrency (0 = GOMAXPROCS)")
+	return fs, o
+}
+
+// runSmoke is the end-to-end proof in one process: start a real HTTP
+// server on a loopback port, run the campaign directly AND through the
+// server, and byte-diff the two aggregates. This is what the CI
+// solverd-smoke job runs.
+func runSmoke(args []string) error {
+	fs, o := newSmokeFlags()
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := campaign.LoadSpec(o.spec)
+	if err != nil {
+		return err
+	}
+
+	// Direct execution: the oracle.
+	directRuns := "campaign_" + o.label + "-direct.jsonl"
+	if _, err := campaign.Run(campaign.Options{Spec: spec, Workers: o.workers, Out: directRuns}); err != nil {
+		return err
+	}
+	directAgg, err := campaign.AggregateFiles(spec, o.label, directRuns)
+	if err != nil {
+		return err
+	}
+
+	// Served execution: a real listener, a real client.
+	srv := service.New(service.Options{Workers: o.workers})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+	cl := &service.Client{Base: "http://" + ln.Addr().String()}
+	if err := cl.Healthz(); err != nil {
+		return err
+	}
+
+	servedRuns := "campaign_" + o.label + "-served.jsonl"
+	st, err := campaign.Run(campaign.Options{Spec: spec, Workers: o.workers, Out: servedRuns, Exec: cl.Exec})
+	if err != nil {
+		return err
+	}
+	if st.Errored > 0 {
+		return fmt.Errorf("smoke: %d of %d served runs errored", st.Errored, st.Executed)
+	}
+	servedAgg, err := campaign.AggregateFiles(spec, o.label, servedRuns)
+	if err != nil {
+		return err
+	}
+
+	directPath := "CAMPAIGN_" + o.label + "-direct.json"
+	servedPath := "CAMPAIGN_" + o.label + "-served.json"
+	if err := campaign.WriteAggregate(directAgg, directPath); err != nil {
+		return err
+	}
+	if err := campaign.WriteAggregate(servedAgg, servedPath); err != nil {
+		return err
+	}
+	da, err := os.ReadFile(directPath)
+	if err != nil {
+		return err
+	}
+	sa, err := os.ReadFile(servedPath)
+	if err != nil {
+		return err
+	}
+	stats, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke: %d runs served (%d workers), setup cache %d hits / %d misses\n",
+		stats.Completed, o.workers, stats.Cache.SetupHits, stats.Cache.SetupMisses)
+	if !bytes.Equal(da, sa) {
+		return fmt.Errorf("smoke: %s and %s differ — served execution is not byte-identical", directPath, servedPath)
+	}
+	if stats.Cache.SetupHits == 0 {
+		return fmt.Errorf("smoke: setup cache reported no hits under repeated-cell traffic")
+	}
+	// A machine-readable verdict line for the CI log.
+	verdict, _ := json.Marshal(map[string]any{
+		"schema": service.Schema, "smoke": "ok", "runs": stats.Completed,
+		"setup_hits": stats.Cache.SetupHits, "setup_misses": stats.Cache.SetupMisses,
+	})
+	fmt.Println(string(verdict))
+	return nil
+}

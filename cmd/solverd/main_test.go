@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"repro/internal/usagecheck"
+)
+
+// TestDocumentedInvocationsParse pins every solverd snippet in this
+// command's doc comment, the README and docs/SERVICE.md against the
+// real per-mode flag sets, so the usage text cannot drift from the
+// flags main parses. Snippets are matched by mode name ("serve",
+// "submit", "smoke") because usagecheck keys on the token immediately
+// before the first flag.
+func TestDocumentedInvocationsParse(t *testing.T) {
+	modes := map[string]func() *flag.FlagSet{
+		"serve":  func() *flag.FlagSet { fs, _ := newServeFlags(); return fs },
+		"submit": func() *flag.FlagSet { fs, _ := newSubmitFlags(); return fs },
+		"smoke":  func() *flag.FlagSet { fs, _ := newSmokeFlags(); return fs },
+	}
+	sources := []string{"main.go", "../../README.md", "../../docs/SERVICE.md", "../../docs/ARCHITECTURE.md"}
+	seen := 0
+	for _, path := range sources {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		text := string(data)
+		for mode, mk := range modes {
+			seen += len(usagecheck.Snippets(text, mode))
+			for _, p := range usagecheck.Verify(text, mode, mk) {
+				t.Errorf("%s: %s", path, p)
+			}
+		}
+	}
+	if seen == 0 {
+		t.Error("no documented solverd invocations found — the drift test is checking nothing")
+	}
+}
+
+// TestDefaultsAreSane guards the values the doc comment advertises.
+func TestDefaultsAreSane(t *testing.T) {
+	sfs, so := newServeFlags()
+	if err := sfs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if so.addr != ":8077" || so.workers != 0 || so.queue != 0 {
+		t.Errorf("serve defaults drifted: %+v", so)
+	}
+	ufs, uo := newSubmitFlags()
+	if err := ufs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if uo.addr != "http://localhost:8077" || uo.spec != "quick" || uo.label != "dev" || uo.shard != "0/1" || uo.resume || uo.noAgg {
+		t.Errorf("submit defaults drifted: %+v", uo)
+	}
+	kfs, ko := newSmokeFlags()
+	if err := kfs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ko.spec != "quick" || ko.label != "smoke" {
+		t.Errorf("smoke defaults drifted: %+v", ko)
+	}
+}

@@ -13,7 +13,7 @@ import (
 // reductions per step) vs CGS-1 (one blocking merged reduction) vs
 // p1-GMRES (one *non-blocking overlapped* reduction). Comparing the
 // three decomposes p1's gain into "merge the reductions" and "overlap
-// the merged reduction", the design choice DESIGN.md calls out.
+// the merged reduction", the design choice the paper's §III-B makes.
 func A1(rc RunCtx) *Table {
 	t := &Table{
 		ID:      "A1",

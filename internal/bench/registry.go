@@ -27,7 +27,8 @@ func (rc RunCtx) cfg(p int, noise machine.Noise) comm.Config {
 	return comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Noise: noise, Seed: rc.Seed, Ledger: rc.Ledger}
 }
 
-// Experiment is one runnable entry of the DESIGN.md index.
+// Experiment is one runnable entry of the experiment index (see
+// docs/BENCHMARKING.md).
 type Experiment struct {
 	ID   string
 	Run  func(rc RunCtx) *Table

@@ -1,8 +1,9 @@
-// Package bench regenerates every experiment in DESIGN.md's index: the
-// paper is a position paper with no tables or figures of its own, so each
-// experiment here instantiates one of its qualitative claims and prints
-// the table/series that a full paper would have contained. EXPERIMENTS.md
-// records claim-versus-measured for all of them.
+// Package bench regenerates every experiment in the registry's index:
+// the paper is a position paper with no tables or figures of its own,
+// so each experiment here instantiates one of its qualitative claims
+// and prints the table/series that a full paper would have contained.
+// docs/BENCHMARKING.md documents the registry, the harness schema and
+// the perf gates built on top of it.
 package bench
 
 import (

@@ -37,6 +37,9 @@ type CellSummary struct {
 	Problem string `json:"problem"`
 	Ranks   int    `json:"ranks"`
 	Fault   string `json:"fault"`
+	// Noise is the cell's noise-axis value; omitted for noise-free
+	// cells so pre-axis aggregates stay byte-identical.
+	Noise string `json:"noise,omitempty"`
 
 	Replicates int `json:"replicates"`
 	Successes  int `json:"successes"`
@@ -128,6 +131,9 @@ func summarise(cell Cell, recs []Record, seed uint64) CellSummary {
 		Ranks: cell.Ranks, Fault: cell.Fault.String(),
 		Replicates: len(recs),
 	}
+	if cell.Noise.Enabled() {
+		cs.Noise = cell.Noise.String()
+	}
 	var valid []Record
 	var iters, vtimes []float64
 	for _, r := range recs {
@@ -191,10 +197,12 @@ func AggregateRecords(spec Spec, label string, recs []Record) (*Aggregate, error
 		return nil, err
 	}
 	byKey := make(map[string]Record, len(recs))
-	known := make(map[string]bool, len(recs))
 	for _, r := range recs {
-		if !known[r.Key] {
-			known[r.Key] = true
+		prev, ok := byKey[r.Key]
+		// First record wins, except that a real outcome always beats a
+		// transient infrastructure error — a resumed retry appends
+		// after the transient record it replaces.
+		if !ok || (prev.Transient && !r.Transient) {
 			byKey[r.Key] = r
 		}
 	}

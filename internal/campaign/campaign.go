@@ -83,6 +83,58 @@ const (
 	FaultFaultyPrecond = "faulty-precond" // bit-flip rate on preconditioner outputs
 )
 
+// Noise-model axis values.
+const (
+	NoiseNone    = "none"    // ideal machine: equal work takes equal time
+	NoiseUniform = "uniform" // uniform jitter: each compute phase stretched by U(0, frac·d)
+)
+
+// NoiseSpec selects one performance-noise model and its intensity —
+// the campaign's hook into the machine.Noise family (paper §II-B: OS
+// and error-correction jitter is the first casualty of decreasing
+// reliability). The zero value means no noise, so specs written before
+// the axis existed keep their meaning, their cell keys and their
+// aggregates byte-for-byte.
+type NoiseSpec struct {
+	// Model is one of the Noise* constants; "" means none.
+	Model string `json:"model,omitempty"`
+	// Frac is the uniform-jitter envelope: every compute phase is
+	// extended by a uniform draw in [0, Frac·duration].
+	Frac float64 `json:"frac,omitempty"`
+}
+
+// Enabled reports whether the spec names a real noise model (the zero
+// value and explicit "none" are both noise-free).
+func (n NoiseSpec) Enabled() bool { return n.Model != "" && n.Model != NoiseNone }
+
+// String renders the noise axis value used in run keys and reports,
+// e.g. "uniform@0.2"; the none/zero value renders as "none".
+func (n NoiseSpec) String() string {
+	if !n.Enabled() {
+		return NoiseNone
+	}
+	return fmt.Sprintf("%s@%g", n.Model, n.Frac)
+}
+
+func (n NoiseSpec) validate() error {
+	switch n.Model {
+	case "", NoiseNone:
+		// A frac without a model is a misspelled noisy cell, not a
+		// clean one — running it silently noise-free would be the
+		// axis-wide version of a typo'd flag.
+		if n.Frac != 0 {
+			return fmt.Errorf("noise frac %g set without a model (want \"model\": %q)", n.Frac, NoiseUniform)
+		}
+	case NoiseUniform:
+		if n.Frac <= 0 {
+			return fmt.Errorf("noise %s needs a positive frac, got %g", n.Model, n.Frac)
+		}
+	default:
+		return fmt.Errorf("unknown noise model %q", n.Model)
+	}
+	return nil
+}
+
 // FaultSpec selects one fault model and its intensity.
 type FaultSpec struct {
 	// Model is one of the Fault* constants.
@@ -132,13 +184,16 @@ func (f FaultSpec) validate() error {
 // from a JSON file, and the whole Spec is embedded in the aggregate
 // report for provenance.
 type Spec struct {
-	Name       string      `json:"name"`
-	Seed       uint64      `json:"seed"`
-	Solvers    []string    `json:"solvers"`
-	Preconds   []string    `json:"preconds"`
-	Problems   []string    `json:"problems"`
-	Ranks      []int       `json:"ranks"`
-	Faults     []FaultSpec `json:"faults"`
+	Name     string      `json:"name"`
+	Seed     uint64      `json:"seed"`
+	Solvers  []string    `json:"solvers"`
+	Preconds []string    `json:"preconds"`
+	Problems []string    `json:"problems"`
+	Ranks    []int       `json:"ranks"`
+	Faults   []FaultSpec `json:"faults"`
+	// Noises is the performance-noise axis; empty means the single
+	// value "none" (the pre-axis grid, bit-compatible).
+	Noises     []NoiseSpec `json:"noises,omitempty"`
 	Replicates int         `json:"replicates"`
 	// Grid is the PDE mesh edge: every problem is generated on a
 	// Grid×Grid interior, so the operator dimension is Grid².
@@ -205,6 +260,21 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("campaign: %w", err)
 		}
 	}
+	seenNoise := map[string]bool{}
+	for _, nz := range s.Noises {
+		if err := nz.validate(); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+		// The zero value and explicit "none" render identically; two
+		// axis entries with one rendering would expand to distinct
+		// cells with colliding run keys, which execute fine but can
+		// never aggregate — reject the spec instead.
+		k := nz.String()
+		if seenNoise[k] {
+			return fmt.Errorf("campaign: duplicate noise axis value %q", k)
+		}
+		seenNoise[k] = true
+	}
 	if s.Replicates < 1 {
 		return fmt.Errorf("campaign: replicates %d < 1", s.Replicates)
 	}
@@ -227,18 +297,46 @@ type Cell struct {
 	Problem string    `json:"problem"`
 	Ranks   int       `json:"ranks"`
 	Fault   FaultSpec `json:"fault"`
+	// Noise is the cell's performance-noise model; the zero value (no
+	// noise) is omitted from keys and JSON so pre-axis campaigns stay
+	// byte-identical.
+	Noise NoiseSpec `json:"noise,omitzero"`
 }
 
 // Key returns the canonical cell identifier,
-// e.g. "pcg/jacobi/poisson/p4/bitflip@0.001".
+// e.g. "pcg/jacobi/poisson/p4/bitflip@0.001" — with a trailing noise
+// segment ("…/uniform@0.2") only when the cell carries noise.
 func (c Cell) Key() string {
-	return fmt.Sprintf("%s/%s/%s/p%d/%s", c.Solver, c.Precond, c.Problem, c.Ranks, c.Fault)
+	k := fmt.Sprintf("%s/%s/%s/p%d/%s", c.Solver, c.Precond, c.Problem, c.Ranks, c.Fault)
+	if c.Noise.Enabled() {
+		k += "/" + c.Noise.String()
+	}
+	return k
 }
 
 // RunKey returns the identifier of one replicate of this cell — the
 // key resume matching and aggregation dedup with.
 func (c Cell) RunKey(rep int) string {
 	return fmt.Sprintf("%s/r%d", c.Key(), rep)
+}
+
+// Record returns the identity-only record of one (cell, replicate):
+// every axis and seed field filled, no outcome yet. ExecuteRunEnv
+// starts from it, and embedding services use it to synthesize
+// harness-error records (transport failure, server draining) that
+// aggregate exactly like locally produced ones — one constructor, so
+// a new Record field cannot silently go missing from either path.
+func (c Cell) Record(spec *Spec, rep int) Record {
+	rec := Record{
+		Schema: RunSchema, Key: c.RunKey(rep), Cell: c.Index, Rep: rep,
+		Solver: c.Solver, Precond: c.Precond, Problem: c.Problem,
+		Ranks: c.Ranks, Fault: c.Fault.String(),
+		Seed: RunSeed(spec.Seed, c.Index, rep),
+	}
+	if c.Noise.Enabled() {
+		rec.Noise = c.Noise.String()
+	}
+	return rec
 }
 
 // Compatible reports whether a (solver, precond, problem, fault)
@@ -256,6 +354,12 @@ func (c Cell) RunKey(rep int) string {
 //   - FT-GMRES's preconditioner axis selects the *inner* stack: none
 //     or the faulty block-ILU of experiment P3;
 //   - the faulty-precond fault model needs a preconditioner to corrupt.
+//
+// The noise axis is orthogonal: jitter stretches compute phases in
+// virtual time but changes no arithmetic, so every noise value is
+// compatible with every runnable (solver, precond, problem, fault)
+// combination and the pruning rules above apply unchanged across the
+// noise expansion.
 func Compatible(solver, prec, problem string, fault FaultSpec) (bool, string) {
 	spd := spdProblems[problem]
 	switch solver {
@@ -296,10 +400,19 @@ func Compatible(solver, prec, problem string, fault FaultSpec) (bool, string) {
 	return true, ""
 }
 
+// noiseAxis returns the spec's noise axis, defaulting to the single
+// no-noise value so pre-axis specs expand to their original grid.
+func (s Spec) noiseAxis() []NoiseSpec {
+	if len(s.Noises) == 0 {
+		return []NoiseSpec{{}}
+	}
+	return s.Noises
+}
+
 // Cells expands the spec's grid in declaration order (solver, precond,
-// problem, ranks, fault — innermost last) and returns the runnable
-// cells with their indices assigned; incompatible combinations are
-// skipped and never consume an index, so sharding and seeding see a
+// problem, ranks, fault, noise — innermost last) and returns the
+// runnable cells with their indices assigned; incompatible combinations
+// are skipped and never consume an index, so sharding and seeding see a
 // dense cell space.
 func (s Spec) Cells() []Cell {
 	var out []Cell
@@ -311,10 +424,12 @@ func (s Spec) Cells() []Cell {
 						if ok, _ := Compatible(sol, prec, prob, f); !ok {
 							continue
 						}
-						out = append(out, Cell{
-							Index: len(out), Solver: sol, Precond: prec,
-							Problem: prob, Ranks: p, Fault: f,
-						})
+						for _, nz := range s.noiseAxis() {
+							out = append(out, Cell{
+								Index: len(out), Solver: sol, Precond: prec,
+								Problem: prob, Ranks: p, Fault: f, Noise: nz,
+							})
+						}
 					}
 				}
 			}
@@ -326,23 +441,24 @@ func (s Spec) Cells() []Cell {
 // Coverage summarises the distinct axis values the runnable cells
 // touch — the numbers the CI smoke campaign asserts floors on.
 type Coverage struct {
-	Cells, Runs                        int
-	Solvers, Preconds, Problems, Fault int
+	Cells, Runs                               int
+	Solvers, Preconds, Problems, Fault, Noise int
 }
 
 // Coverage computes the runnable-grid coverage of the spec.
 func (s Spec) Coverage() Coverage {
 	cells := s.Cells()
-	sol, prec, prob, flt := map[string]bool{}, map[string]bool{}, map[string]bool{}, map[string]bool{}
+	sol, prec, prob, flt, nz := map[string]bool{}, map[string]bool{}, map[string]bool{}, map[string]bool{}, map[string]bool{}
 	for _, c := range cells {
 		sol[c.Solver] = true
 		prec[c.Precond] = true
 		prob[c.Problem] = true
 		flt[c.Fault.Model] = true
+		nz[c.Noise.String()] = true
 	}
 	return Coverage{
 		Cells: len(cells), Runs: len(cells) * s.Replicates,
-		Solvers: len(sol), Preconds: len(prec), Problems: len(prob), Fault: len(flt),
+		Solvers: len(sol), Preconds: len(prec), Problems: len(prob), Fault: len(flt), Noise: len(nz),
 	}
 }
 
@@ -377,6 +493,49 @@ func attemptSeed(runSeed uint64, attempt int) uint64 {
 // salt) so resampling can never correlate with the runs it resamples.
 func bootstrapSeed(seed uint64, cell int) uint64 {
 	return mix64(mix64(seed^0x424f4f5453545250) ^ uint64(cell)*0x9e3779b97f4a7c15)
+}
+
+// RunRef identifies one (cell, replicate) of a spec's grid.
+type RunRef struct {
+	Cell Cell
+	Rep  int
+}
+
+// ShardRuns expands every (cell, replicate) of the spec's grid owned
+// by shard k of n (cells with Index % n == k), in deterministic
+// cell-major order. It is the single expansion the local engine and
+// the solve service's campaign endpoint both schedule from, so shard
+// semantics cannot drift between the two paths. shards < 1 means the
+// whole grid.
+func (s Spec) ShardRuns(shard, shards int) []RunRef {
+	if shards < 1 {
+		shard, shards = 0, 1
+	}
+	var out []RunRef
+	for _, cell := range s.Cells() {
+		if cell.Index%shards != shard {
+			continue
+		}
+		for rep := 0; rep < s.Replicates; rep++ {
+			out = append(out, RunRef{Cell: cell, Rep: rep})
+		}
+	}
+	return out
+}
+
+// CountShardCells returns the number of distinct cells among refs.
+// ShardRuns emits cell-major order, so the engine's RunStats.Cells and
+// the solve service's campaign-stream summary both count through this
+// one helper and cannot drift.
+func CountShardCells(refs []RunRef) int {
+	cells, last := 0, -1
+	for _, ref := range refs {
+		if ref.Cell.Index != last {
+			cells++
+			last = ref.Cell.Index
+		}
+	}
+	return cells
 }
 
 // ParseShard parses a "k/n" shard selector into (k, n). Both parts

@@ -29,6 +29,15 @@ type Options struct {
 	Ledger *comm.Ledger
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Exec, when non-nil, replaces local ExecuteRun for every run —
+	// the remote-execution hook: cmd/solverd's submit mode sets it to
+	// POST each run to a solve service, turning this engine into a
+	// distributed load generator whose JSONL and aggregate outputs
+	// stay byte-identical to local execution (runs are deterministic
+	// functions of (spec, cell, rep), wherever they execute). The
+	// Ledger is not threaded through Exec: a remote executor simulates
+	// in its own process.
+	Exec func(spec *Spec, cell Cell, rep int) Record
 }
 
 // RunStats summarises one engine invocation.
@@ -71,24 +80,16 @@ func Run(opts Options) (RunStats, error) {
 		}
 	}
 
-	type job struct {
-		cell Cell
-		rep  int
-	}
-	var jobs []job
-	for _, cell := range spec.Cells() {
-		if cell.Index%opts.Shards != opts.Shard {
+	shardRuns := spec.ShardRuns(opts.Shard, opts.Shards)
+	st.Cells = CountShardCells(shardRuns)
+	var jobs []RunRef
+	for _, ref := range shardRuns {
+		st.Planned++
+		if done[ref.Cell.RunKey(ref.Rep)] {
+			st.Resumed++
 			continue
 		}
-		st.Cells++
-		for rep := 0; rep < spec.Replicates; rep++ {
-			st.Planned++
-			if done[cell.RunKey(rep)] {
-				st.Resumed++
-				continue
-			}
-			jobs = append(jobs, job{cell, rep})
-		}
+		jobs = append(jobs, ref)
 	}
 
 	w, err := NewWriter(opts.Out, opts.Resume)
@@ -108,7 +109,7 @@ func Run(opts Options) (RunStats, error) {
 		wg       sync.WaitGroup
 		writeErr error
 	)
-	work := make(chan job)
+	work := make(chan RunRef)
 	for i := 0; i < opts.Workers; i++ {
 		wg.Add(1)
 		go func() {
@@ -123,7 +124,12 @@ func Run(opts Options) (RunStats, error) {
 				if dead {
 					continue
 				}
-				rec := ExecuteRun(&spec, j.cell, j.rep, opts.Ledger)
+				var rec Record
+				if opts.Exec != nil {
+					rec = opts.Exec(&spec, j.Cell, j.Rep)
+				} else {
+					rec = ExecuteRun(&spec, j.Cell, j.Rep, opts.Ledger)
+				}
 				mu.Lock()
 				st.Executed++
 				if rec.Err != "" {

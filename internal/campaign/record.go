@@ -23,6 +23,9 @@ type Record struct {
 	Problem string `json:"problem"`
 	Ranks   int    `json:"ranks"`
 	Fault   string `json:"fault"`
+	// Noise is the cell's noise-axis value ("uniform@0.2"); omitted
+	// for noise-free cells, keeping pre-axis records byte-identical.
+	Noise string `json:"noise,omitempty"`
 
 	Converged bool `json:"converged"`
 	Iters     int  `json:"iters"`
@@ -40,6 +43,13 @@ type Record struct {
 	// Err records a configuration or unexpected communication error;
 	// empty for a run that executed to a verdict.
 	Err string `json:"err,omitempty"`
+	// Transient marks an Err that came from infrastructure (a solve
+	// service's transport failure or drain) rather than from the run
+	// itself. A local Err is a deterministic outcome and resume rightly
+	// skips it; a transient one is retryable, so ReadKeys does not
+	// treat it as decided and aggregation prefers any non-transient
+	// record for the same key.
+	Transient bool `json:"transient,omitempty"`
 }
 
 // Writer streams records to a JSONL file as they complete. Each record
@@ -130,8 +140,10 @@ func ReadRecords(path string) ([]Record, error) {
 	return out, nil
 }
 
-// ReadKeys returns the set of run keys already recorded in the JSONL
-// files — what a resumed or merging campaign skips.
+// ReadKeys returns the set of run keys already *decided* in the JSONL
+// files — what a resumed or merging campaign skips. Records carrying a
+// transient infrastructure error do not count as decided: a resume
+// re-executes them, and aggregation prefers the fresh outcome.
 func ReadKeys(paths ...string) (map[string]bool, error) {
 	keys := make(map[string]bool)
 	for _, p := range paths {
@@ -140,6 +152,9 @@ func ReadKeys(paths ...string) (map[string]bool, error) {
 			return nil, err
 		}
 		for _, r := range recs {
+			if r.Transient {
+				continue
+			}
 			keys[r.Key] = true
 		}
 	}

@@ -53,6 +53,18 @@ type Env struct {
 	Seed    uint64
 	Tol     float64
 	MaxIter int
+	// Hook is this rank's per-iteration observer (nil almost always:
+	// the engine installs one on rank 0 only when an ExecEnv.Progress
+	// sink is attached). Runners thread it into their solver options;
+	// ftgmres has no inner-iteration hook and reports no progress.
+	Hook krylov.IterationHook
+	// setupKey and xe thread the run's setup-cache identity and
+	// execution environment to runners that build their own sub-stacks:
+	// ftgmres's inner ILU factorisation is keyed identically to the
+	// plain bj-ilu one, so it must consult the same cache buildPrecond
+	// does.
+	setupKey SetupKey
+	xe       *ExecEnv
 }
 
 // Outcome is what a Runner reports from rank 0 (the SPMD convention:
@@ -95,30 +107,30 @@ func fromStats(st krylov.Stats) Outcome {
 }
 
 func runCG(env *Env) (Outcome, error) {
-	_, st, err := krylov.DistCG(env.C, env.Op, env.B, nil, krylov.DistOptions{Tol: env.Tol, MaxIter: env.MaxIter})
+	_, st, err := krylov.DistCG(env.C, env.Op, env.B, nil, krylov.DistOptions{Tol: env.Tol, MaxIter: env.MaxIter, Hook: env.Hook})
 	return fromStats(st), err
 }
 
 func runPCG(env *Env) (Outcome, error) {
-	_, st, err := krylov.DistPCG(env.C, env.Op, env.M, env.B, nil, krylov.DistOptions{Tol: env.Tol, MaxIter: env.MaxIter})
+	_, st, err := krylov.DistPCG(env.C, env.Op, env.M, env.B, nil, krylov.DistOptions{Tol: env.Tol, MaxIter: env.MaxIter, Hook: env.Hook})
 	return fromStats(st), err
 }
 
 func runPipelinedPCG(env *Env) (Outcome, error) {
-	_, st, err := krylov.DistPipelinedPCG(env.C, env.Op, env.M, env.B, nil, krylov.DistOptions{Tol: env.Tol, MaxIter: env.MaxIter})
+	_, st, err := krylov.DistPipelinedPCG(env.C, env.Op, env.M, env.B, nil, krylov.DistOptions{Tol: env.Tol, MaxIter: env.MaxIter, Hook: env.Hook})
 	return fromStats(st), err
 }
 
 func runGMRES(env *Env) (Outcome, error) {
 	_, st, err := krylov.DistGMRES(env.C, env.Op, env.B, nil, krylov.DistGMRESOptions{
-		Restart: 30, Tol: env.Tol, MaxIter: env.MaxIter, Precon: env.M,
+		Restart: 30, Tol: env.Tol, MaxIter: env.MaxIter, Precon: env.M, Hook: env.Hook,
 	})
 	return fromStats(st), err
 }
 
 func runFGMRES(env *Env) (Outcome, error) {
 	_, st, err := krylov.DistFGMRES(env.C, env.Op, env.M, env.B, nil, krylov.DistGMRESOptions{
-		Restart: 30, Tol: env.Tol, MaxIter: env.MaxIter,
+		Restart: 30, Tol: env.Tol, MaxIter: env.MaxIter, Hook: env.Hook,
 	})
 	return fromStats(st), err
 }
@@ -159,14 +171,18 @@ func runFTGMRES(env *Env) (Outcome, error) {
 	}
 	var innerM krylov.DistPreconditioner
 	if env.Precond == PrecondBJILU {
-		fm := &precond.Faulty{
-			Inner:    precond.NewBlockJacobiILU(env.C, env.A),
-			Injector: fault.NewVectorInjector(env.Seed + seedOffPrecond + uint64(env.C.Rank())).WithRate(precRate),
-		}
-		if err := fm.Setup(); err != nil {
+		// Set up the raw ILU through the shared setup cache (same
+		// artifact identity as a plain bj-ilu cell), then wrap: the
+		// factorisation itself runs reliably either way, only
+		// applications are corrupted.
+		bj := precond.NewBlockJacobiILU(env.C, env.A)
+		if err := setupWithCache(env.C, bj, env.xe, env.setupKey); err != nil {
 			return Outcome{}, err
 		}
-		innerM = fm
+		innerM = &precond.Faulty{
+			Inner:    bj,
+			Injector: fault.NewVectorInjector(env.Seed + seedOffPrecond + uint64(env.C.Rank())).WithRate(precRate),
+		}
 	}
 	maxOuter := env.MaxIter / ftgmresInnerIters
 	if maxOuter < 10 {
@@ -233,11 +249,62 @@ func BuildProblem(name string, g int) (Problem, error) {
 	return p, nil
 }
 
+// SetupKey identifies one cacheable preconditioner Setup. The artifact
+// of (problem, grid, ranks, precond, rank) is identical for every fault
+// model, noise model, seed, replicate and attempt, because Setup is a
+// pure function of the assembled matrix and the rank partition — which
+// is what makes cross-request caching sound.
+type SetupKey struct {
+	Problem string
+	Grid    int
+	Ranks   int
+	Precond string
+}
+
+// SetupCache shares preconditioner Setup artifacts across runs. Lookup
+// returns the artifact for one rank of a key (nil = miss: the rank runs
+// its own Setup and offers the export back through Store). Lookup and
+// Store are called from the rank goroutines of concurrently executing
+// runs, so implementations must be safe for concurrent use; they are
+// only consulted for precond.Cacheable families, so a cache's hit/miss
+// counters never see the uncacheable ones.
+type SetupCache interface {
+	Lookup(k SetupKey, rank int) *precond.Artifact
+	Store(k SetupKey, rank int, a *precond.Artifact)
+}
+
+// ExecEnv is the optional execution environment of one run — the hooks
+// an embedding service (internal/service) uses to reuse assembly work
+// across requests and to observe progress. A nil *ExecEnv or the zero
+// value is plain hookless execution.
+type ExecEnv struct {
+	// Ledger, when non-nil, aggregates communication activity over
+	// every world the run creates.
+	Ledger *comm.Ledger
+	// Problems, when non-nil, resolves problem assembly (a cache
+	// hook); nil falls back to BuildProblem for every run. Returned
+	// problems are shared read-only across runs and ranks.
+	Problems func(name string, grid int) (Problem, error)
+	// Setups, when non-nil, shares preconditioner Setup artifacts
+	// across runs. Adopting an artifact charges the same virtual cost
+	// as running Setup (see precond.Cacheable), so cached and fresh
+	// runs agree bitwise.
+	Setups SetupCache
+	// Progress, when non-nil, receives rank 0's per-iteration progress
+	// (global-restart attempt, iteration, relative residual), called
+	// from the rank-0 goroutine of the running world. It must not
+	// block for long: the solve's virtual time is unaffected, but its
+	// wall-clock time stalls with it.
+	Progress func(attempt, iter int, relres float64)
+}
+
 // buildPrecond constructs the named preconditioner over the trusted
 // operator. Chebyshev applies the *clean* operator internally — faults
 // target the solver's operator or the preconditioner output, never
-// both through one wrapper.
-func buildPrecond(c *comm.Comm, name string, p Problem, trusted dist.Operator) (precond.Preconditioner, error) {
+// both through one wrapper. Cacheable families consult env's setup
+// cache: a hit adopts the shared artifact (same virtual cost, no real
+// factorisation work), a miss runs Setup and offers the export back.
+func buildPrecond(c *comm.Comm, name string, p Problem, trusted dist.Operator, env *ExecEnv, key SetupKey) (precond.Preconditioner, error) {
 	var m precond.Preconditioner
 	switch name {
 	case PrecondJacobi:
@@ -249,7 +316,34 @@ func buildPrecond(c *comm.Comm, name string, p Problem, trusted dist.Operator) (
 	default:
 		return nil, fmt.Errorf("campaign: unknown preconditioner %q", name)
 	}
-	return m, m.Setup()
+	return m, setupWithCache(c, m, env, key)
+}
+
+// setupWithCache runs m's Setup, consulting env's setup cache for
+// cacheable families: a hit adopts the shared artifact (same virtual
+// cost, no real factorisation work), a miss runs Setup and offers the
+// export back. Both buildPrecond and ftgmres's inner stack go through
+// here, so every factorisation of one (problem, grid, ranks, precond)
+// identity shares one cache entry.
+func setupWithCache(c *comm.Comm, m precond.Preconditioner, env *ExecEnv, key SetupKey) error {
+	if env != nil && env.Setups != nil {
+		if ca, ok := m.(precond.Cacheable); ok {
+			if art := env.Setups.Lookup(key, c.Rank()); art != nil {
+				if err := ca.Adopt(art); err == nil {
+					return nil
+				}
+				// A mismatched artifact (stale or corrupt cache entry)
+				// falls through to a fresh Setup instead of failing the
+				// run.
+			}
+			if err := ca.Setup(); err != nil {
+				return err
+			}
+			env.Setups.Store(key, c.Rank(), ca.Export())
+			return nil
+		}
+	}
+	return m.Setup()
 }
 
 // Per-run injector stream offsets: the solver-operator and
@@ -322,7 +416,7 @@ type attemptState struct {
 
 // runRank is the SPMD body of one solve attempt: assemble the env for
 // this rank (fault wiring included) and dispatch the cell's Runner.
-func runRank(c *comm.Comm, spec *Spec, cell Cell, p Problem, seed uint64, att *attemptState) error {
+func runRank(c *comm.Comm, spec *Spec, cell Cell, p Problem, seed uint64, att *attemptState, xe *ExecEnv, attempt int) error {
 	trusted := dist.NewCSR(c, p.A)
 	var op dist.Operator = trusted
 	var kill *killSchedule
@@ -351,9 +445,10 @@ func runRank(c *comm.Comm, spec *Spec, cell Cell, p Problem, seed uint64, att *a
 		}
 	}
 
+	key := SetupKey{Problem: cell.Problem, Grid: spec.Grid, Ranks: cell.Ranks, Precond: cell.Precond}
 	var m krylov.DistPreconditioner
 	if cell.Solver != SolverFTGMRES && cell.Precond != PrecondNone {
-		pc, err := buildPrecond(c, cell.Precond, p, trusted)
+		pc, err := buildPrecond(c, cell.Precond, p, trusted, xe, key)
 		if err != nil {
 			return err
 		}
@@ -370,10 +465,18 @@ func runRank(c *comm.Comm, spec *Spec, cell Cell, p Problem, seed uint64, att *a
 	if !ok {
 		return fmt.Errorf("campaign: unknown solver %q", cell.Solver)
 	}
+	var hook krylov.IterationHook
+	if xe != nil && xe.Progress != nil && c.Rank() == 0 {
+		hook = func(iter int, relres float64) error {
+			xe.Progress(attempt, iter, relres)
+			return nil
+		}
+	}
 	out, err := run(&Env{
 		C: c, Op: op, A: p.A, M: m, B: trusted.Scatter(p.RHS),
 		Precond: cell.Precond, Fault: cell.Fault, Seed: seed, kill: kill,
-		Tol: spec.Tol, MaxIter: spec.MaxIter,
+		Tol: spec.Tol, MaxIter: spec.MaxIter, Hook: hook,
+		setupKey: key, xe: xe,
 	})
 	if err != nil {
 		return err
@@ -396,20 +499,39 @@ func isRankFailure(err error) bool {
 // captured in the record's Err field so one broken cell cannot abort a
 // campaign. led, when non-nil, aggregates the communication activity
 // of every world the run creates.
+func ExecuteRun(spec *Spec, cell Cell, rep int, led *comm.Ledger) Record {
+	return ExecuteRunEnv(spec, cell, rep, &ExecEnv{Ledger: led})
+}
+
+// noiseModel maps a cell's NoiseSpec onto the machine layer.
+func noiseModel(n NoiseSpec) machine.Noise {
+	if n.Enabled() {
+		return machine.UniformJitter{Frac: n.Frac}
+	}
+	return machine.NoNoise{}
+}
+
+// ExecuteRunEnv is ExecuteRun with an explicit execution environment:
+// assembly caches and a progress sink (see ExecEnv). Results are
+// bitwise independent of the environment — caching skips real work,
+// never virtual work — which is the property the solve service's
+// loadgen test pins.
 //
 // Under the rank-kill model the run is a checkpoint/restart loop at
 // solve granularity: an attempt that loses a rank charges the victim's
 // death-time clock as lost work and restarts the solve from scratch
 // with a re-drawn failure, up to MaxRestarts times — the global-restart
 // baseline the paper's resilient algorithms are measured against.
-func ExecuteRun(spec *Spec, cell Cell, rep int, led *comm.Ledger) Record {
-	rec := Record{
-		Schema: RunSchema, Key: cell.RunKey(rep), Cell: cell.Index, Rep: rep,
-		Solver: cell.Solver, Precond: cell.Precond, Problem: cell.Problem,
-		Ranks: cell.Ranks, Fault: cell.Fault.String(),
-		Seed: RunSeed(spec.Seed, cell.Index, rep),
+func ExecuteRunEnv(spec *Spec, cell Cell, rep int, env *ExecEnv) Record {
+	if env == nil {
+		env = &ExecEnv{}
 	}
-	p, err := BuildProblem(cell.Problem, spec.Grid)
+	rec := cell.Record(spec, rep)
+	build := BuildProblem
+	if env.Problems != nil {
+		build = env.Problems
+	}
+	p, err := build(cell.Problem, spec.Grid)
 	if err != nil {
 		rec.Err = err.Error()
 		return rec
@@ -422,9 +544,12 @@ func ExecuteRun(spec *Spec, cell Cell, rep int, led *comm.Ledger) Record {
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		aseed := attemptSeed(rec.Seed, attempt)
 		att := &attemptState{death: -1}
-		cfg := comm.Config{Ranks: cell.Ranks, Cost: machine.DefaultCostModel(), Seed: aseed, Ledger: led}
+		cfg := comm.Config{
+			Ranks: cell.Ranks, Cost: machine.DefaultCostModel(),
+			Noise: noiseModel(cell.Noise), Seed: aseed, Ledger: env.Ledger,
+		}
 		err := comm.Run(cfg, func(c *comm.Comm) error {
-			return runRank(c, spec, cell, p, aseed, att)
+			return runRank(c, spec, cell, p, aseed, att, env, attempt)
 		})
 		if err != nil {
 			if isRankFailure(err) && cell.Fault.Model == FaultRankKill {

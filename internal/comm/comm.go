@@ -70,6 +70,20 @@ func (c *Comm) AdvanceClock(seconds float64) { c.clock.Advance(seconds) }
 // This is the cooperative form of failure used by deterministic
 // experiments ("rank 5 dies at step 250"); World.Kill is the asynchronous
 // external form.
+//
+// Failure *visibility* is asynchronous, as in ULFM: a survivor's
+// in-flight operation either completes or returns ErrRankFailed
+// depending on whether it reaches the world's state before the
+// revocation — which is OS-scheduling dependent. Scheduled kills are
+// therefore deterministic in every application-visible result (the
+// survivors' arithmetic never depends on where in the window they
+// observed the failure) but NOT in the per-rank operation counters or
+// virtual-time trailing digits, which can differ by up to one
+// operation per survivor per failure. The bound is pinned by
+// lflr's TestHeatKillLedgerSchedulingDependence and documented in
+// docs/BENCHMARKING.md; making visibility deterministic would need
+// either per-peer-only failure checks (which deadlock survivors
+// blocked on peers that unwound early) or a global deadlock detector.
 func (c *Comm) Die() error {
 	c.world.mu.Lock()
 	c.world.killLocked(c.rank)

@@ -32,9 +32,10 @@
 // internal/dist (distributed operators). Model problems are in
 // internal/problems; serial kernels in internal/la.
 //
-// Experiments F1–F8 and T1–T4 (defined in DESIGN.md, results in
-// EXPERIMENTS.md) are implemented in internal/bench and runnable via
-// cmd/resilient-bench.
+// Experiments F1–F10 and T1–T4 (the registry and its perf gates are
+// documented in docs/BENCHMARKING.md; docs/ARCHITECTURE.md maps each
+// experiment onto the layer stack) are implemented in internal/bench
+// and runnable via cmd/resilient-bench.
 package core
 
 // Model identifies one of the paper's four programming models.

@@ -24,6 +24,12 @@ type DistGMRESOptions struct {
 	// unpreconditioned and rejects a set Precon with an error rather
 	// than silently dropping it.
 	Precon DistPreconditioner
+	// Hook, when non-nil, observes (iteration, relative residual) once
+	// per inner iteration on this rank; a non-nil return aborts the
+	// solve. Rank-local, must not communicate; error aborts must be
+	// symmetric across ranks — see DistOptions.Hook for the SPMD
+	// contract.
+	Hook IterationHook
 }
 
 func (o *DistGMRESOptions) defaults() {
@@ -160,6 +166,11 @@ func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOpt
 			relres := math.Abs(g[j+1]) / bnorm
 			st.Residuals = append(st.Residuals, relres)
 			st.FinalResidual = relres
+			if opts.Hook != nil {
+				if err := opts.Hook(st.Iterations, relres); err != nil {
+					return x, st, err
+				}
+			}
 			if relres <= opts.Tol || hj1 == 0 {
 				j++
 				break
@@ -432,6 +443,11 @@ func p1Cycle(c *comm.Comm, a dist.Operator, b, x []float64, bnorm float64, m int
 			relres := math.Abs(g[col+1]) / bnorm
 			st.Residuals = append(st.Residuals, relres)
 			st.FinalResidual = relres
+			if opts.Hook != nil {
+				if err := opts.Hook(st.Iterations, relres); err != nil {
+					return false, err
+				}
+			}
 			if relres <= opts.Tol || st.Iterations >= opts.MaxIter || breakdown {
 				break
 			}

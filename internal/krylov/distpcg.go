@@ -66,6 +66,11 @@ func DistPCG(c *comm.Comm, a dist.Operator, m DistPreconditioner, b, x0 []float6
 		relres := math.Sqrt(rr) / bnorm
 		st.Residuals = append(st.Residuals, relres)
 		st.FinalResidual = relres
+		if opts.Hook != nil {
+			if err := opts.Hook(st.Iterations, relres); err != nil {
+				return x, st, err
+			}
+		}
 		if relres <= opts.Tol {
 			st.Converged = true
 			break
@@ -196,6 +201,11 @@ func DistPipelinedPCG(c *comm.Comm, a dist.Operator, m DistPreconditioner, b, x0
 		relres := math.Sqrt(rr) / bnorm
 		st.Residuals = append(st.Residuals, relres)
 		st.FinalResidual = relres
+		if opts.Hook != nil {
+			if err := opts.Hook(st.Iterations, relres); err != nil {
+				return x, st, err
+			}
+		}
 		if relres <= opts.Tol {
 			st.Converged = true
 			break

@@ -1,0 +1,124 @@
+package lflr
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/fault"
+	"repro/internal/machine"
+)
+
+// ledgerTuple is one run's communication fingerprint.
+type ledgerTuple struct {
+	sends, recvs, colls int
+	maxClock            float64
+}
+
+func runHeatLedger(t *testing.T, kill bool) (ledgerTuple, HeatResult) {
+	t.Helper()
+	cfg := HeatConfig{Nx: 48, Ny: 64, Nu: 0.25, Steps: 400, PersistEvery: 20}
+	if kill {
+		// A fresh killer per run: StepKiller fires once per instance.
+		cfg.Killer = &fault.StepKiller{Rank: 3, Step: 237}
+	}
+	led := &comm.Ledger{}
+	w := comm.NewWorld(comm.Config{Ranks: 8, Cost: machine.DefaultCostModel(), Seed: 1, Ledger: led})
+	res, err := RunHeat(w, NewStore(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := led.Snapshot()
+	return ledgerTuple{sends: s.Stats.Sends, recvs: s.Stats.Recvs, colls: s.Stats.Collective, maxClock: s.MaxClock}, res
+}
+
+// TestHeatKillLedgerSchedulingDependence pins experiment F4's known
+// nondeterminism — the survivor-vs-kill race in the LFLR recovery path
+// — and, more importantly, its bounds.
+//
+// The mechanism: rank 3 dies at the top of step 237, before its halo
+// sends. comm's failure semantics are ULFM-like — Die revokes the
+// world asynchronously, and every in-flight operation of a survivor
+// either completes or returns ErrRankFailed depending on whether it
+// reaches the world lock before the revocation. Which of a survivor's
+// step-237 operations complete is therefore OS-scheduling dependent,
+// and so are the ledger's send/recv/collective totals and (because
+// completed operations advance clocks) the virtual-time trailing
+// digits. This is a faithful property of the machine being modelled —
+// real failure notification is asynchronous — not a bug in the
+// simulator, so it is documented and bounded rather than "fixed":
+// making p2p visibility deterministic would require either a global
+// deadlock detector or per-peer-only failure checks that deadlock
+// survivors blocked on peers that unwound early.
+//
+// What the test enforces:
+//
+//  1. Everything the *application* reports is bitwise deterministic
+//     across repeats: final field energy, replay steps, recovery
+//     count. The race never reaches numerics.
+//  2. The counter spread across repeats stays inside one failure
+//     window: each of the 7 survivors has at most 2 sends + 2 recvs +
+//     1 collective in flight when the kill lands, so the spread is
+//     bounded by 2P, 2P and P respectively, and the clock spread by a
+//     loose 0.1% (observed: ~0.014%).
+//  3. The fault-free twin of the same configuration has exactly zero
+//     spread — isolating the nondeterminism to the kill, which is what
+//     justifies the perf gate's "virtual time is deterministic"
+//     premise for every fault-free experiment.
+func TestHeatKillLedgerSchedulingDependence(t *testing.T) {
+	const repeats = 6
+	const ranks = 8
+
+	// 3: the fault-free twin is exactly deterministic.
+	cleanBase, cleanRes := runHeatLedger(t, false)
+	for i := 1; i < repeats; i++ {
+		tup, res := runHeatLedger(t, false)
+		if tup != cleanBase {
+			t.Fatalf("fault-free run %d has a different ledger fingerprint: %+v vs %+v", i, tup, cleanBase)
+		}
+		if res.Energy != cleanRes.Energy {
+			t.Fatalf("fault-free run %d energy %g != %g", i, res.Energy, cleanRes.Energy)
+		}
+	}
+
+	// 1 + 2: kill runs — deterministic results, bounded counter spread.
+	var tuples []ledgerTuple
+	base, baseRes := runHeatLedger(t, true)
+	tuples = append(tuples, base)
+	if baseRes.Recoveries != 1 {
+		t.Fatalf("kill run performed %d recoveries, want 1", baseRes.Recoveries)
+	}
+	for i := 1; i < repeats; i++ {
+		tup, res := runHeatLedger(t, true)
+		tuples = append(tuples, tup)
+		if res.Energy != baseRes.Energy {
+			t.Errorf("kill run %d energy %.17g != %.17g — the race reached numerics", i, res.Energy, baseRes.Energy)
+		}
+		if res.ReplaySteps != baseRes.ReplaySteps || res.Recoveries != baseRes.Recoveries {
+			t.Errorf("kill run %d replay/recoveries %d/%d != %d/%d", i,
+				res.ReplaySteps, res.Recoveries, baseRes.ReplaySteps, baseRes.Recoveries)
+		}
+	}
+	minT, maxT := tuples[0], tuples[0]
+	for _, tup := range tuples[1:] {
+		minT.sends = min(minT.sends, tup.sends)
+		maxT.sends = max(maxT.sends, tup.sends)
+		minT.recvs = min(minT.recvs, tup.recvs)
+		maxT.recvs = max(maxT.recvs, tup.recvs)
+		minT.colls = min(minT.colls, tup.colls)
+		maxT.colls = max(maxT.colls, tup.colls)
+		minT.maxClock = min(minT.maxClock, tup.maxClock)
+		maxT.maxClock = max(maxT.maxClock, tup.maxClock)
+	}
+	if spread := maxT.sends - minT.sends; spread > 2*ranks {
+		t.Errorf("send spread %d exceeds one failure window (2P = %d)", spread, 2*ranks)
+	}
+	if spread := maxT.recvs - minT.recvs; spread > 2*ranks {
+		t.Errorf("recv spread %d exceeds one failure window (2P = %d)", spread, 2*ranks)
+	}
+	if spread := maxT.colls - minT.colls; spread > ranks {
+		t.Errorf("collective spread %d exceeds one failure window (P = %d)", spread, ranks)
+	}
+	if rel := (maxT.maxClock - minT.maxClock) / minT.maxClock; rel > 1e-3 {
+		t.Errorf("virtual-time spread %.3g%% exceeds the documented 0.1%% envelope", 100*rel)
+	}
+}

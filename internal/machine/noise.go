@@ -95,6 +95,27 @@ func (n FixedSpike) Draw(rng *RNG, d float64) float64 {
 // Name implements Noise.
 func (n FixedSpike) Name() string { return "fixed-spike" }
 
+// UniformJitter models bounded per-phase slowdown: every compute phase
+// is extended by a uniform draw in [0, Frac·d]. It is the simplest
+// noise family with a hard worst case — the model the campaign engine's
+// noise axis exposes, because a bounded envelope keeps the virtual-time
+// distributions of noisy cells directly comparable to their clean
+// twins (the spread is attributable, never heavy-tailed).
+type UniformJitter struct {
+	Frac float64 // maximum extra delay as a fraction of the phase duration
+}
+
+// Draw implements Noise.
+func (n UniformJitter) Draw(rng *RNG, d float64) float64 {
+	if n.Frac <= 0 {
+		return 0
+	}
+	return n.Frac * d * rng.Float64()
+}
+
+// Name implements Noise.
+func (n UniformJitter) Name() string { return "uniform" }
+
 // LognormalJitter models continuous small-scale variability: every compute
 // phase is stretched by a lognormal factor with location Mu and scale
 // Sigma (of the underlying normal). Mu=0, Sigma=0 reproduces NoNoise.

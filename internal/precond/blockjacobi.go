@@ -31,8 +31,9 @@ type BlockJacobi struct {
 	val     []float64 // after Setup: strict lower = L (unit diag), rest = U
 	diagPtr []int     // position of the diagonal entry in each row
 
-	y     []float64 // forward-substitution scratch
-	setup bool
+	y          []float64 // forward-substitution scratch
+	setup      bool
+	setupFlops float64 // virtual cost the factorisation charged (for Adopt)
 }
 
 // NewBlockJacobiILU extracts this rank's diagonal block from the
@@ -67,7 +68,6 @@ func NewBlockJacobiILU(c *comm.Comm, a *la.CSR) *BlockJacobi {
 		}
 		b.rowPtr[i+1] = len(b.colIdx)
 	}
-	b.val = make([]float64, len(b.orig))
 	return b
 }
 
@@ -75,7 +75,10 @@ func NewBlockJacobiILU(c *comm.Comm, a *la.CSR) *BlockJacobi {
 // factorisation of the local block. The factors live on the block's own
 // sparsity pattern — no fill-in is created — so setup is O(nnz·row
 // width) and reliably cheap for the stencil-bandwidth matrices here.
+// Setup factors into fresh storage, so re-running it can never mutate
+// factors previously shared through Export.
 func (b *BlockJacobi) Setup() error {
+	b.val = make([]float64, len(b.orig))
 	copy(b.val, b.orig)
 	b.setup = false
 	// pos maps a column index to its position in the current row
@@ -117,6 +120,7 @@ func (b *BlockJacobi) Setup() error {
 		}
 	}
 	b.c.Compute(flops)
+	b.setupFlops = flops
 	b.setup = true
 	return nil
 }

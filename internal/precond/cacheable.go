@@ -1,0 +1,91 @@
+package precond
+
+import "fmt"
+
+// Artifact is the immutable product of one rank's Setup: the numeric
+// factor/scale data plus the virtual cost Setup charged to produce it.
+// An artifact can be exported from one preconditioner instance and
+// adopted by an identically-constructed peer — possibly in a different
+// world, possibly concurrently with other adopters — to skip the real
+// (wall-clock) factorisation work while keeping the *virtual* cost
+// accounting identical, so a cached solve is byte-identical to an
+// uncached one.
+//
+// The contract that makes sharing safe: after Setup, ApplyInto treats
+// the setup data as read-only (it writes only per-instance scratch and
+// the caller's output vector). TestSharedSetupConcurrentApply pins this.
+type Artifact struct {
+	vals  []float64 // setup result, read-only once exported
+	flops float64   // virtual cost Setup charged, re-charged by Adopt
+}
+
+// Len returns the number of setup values the artifact carries (a cheap
+// integrity check for cache implementations).
+func (a *Artifact) Len() int { return len(a.vals) }
+
+// Cacheable is the optional extension of Preconditioner implemented by
+// families whose Setup result is plain immutable data (Jacobi's
+// reciprocal diagonal, BlockJacobi's ILU(0) factors). Chebyshev is
+// deliberately not Cacheable: its Setup only validates bounds and
+// carves per-instance scratch, so there is nothing worth caching.
+type Cacheable interface {
+	Preconditioner
+
+	// Export returns the Setup artifact, or nil if Setup has not run
+	// (or failed). The returned artifact shares the instance's setup
+	// storage; Setup always factors into fresh storage, so re-running
+	// it never mutates an exported artifact.
+	Export() *Artifact
+
+	// Adopt installs an artifact exported from an identically-
+	// constructed peer (same matrix, same world size, same rank) in
+	// place of running Setup. It charges the same virtual cost Setup
+	// would have, so adopted and fresh solves agree bitwise; only the
+	// real factorisation work is skipped. The artifact's data is shared,
+	// not copied — the adopter must honour the read-only contract.
+	Adopt(*Artifact) error
+}
+
+// Export implements Cacheable.
+func (j *Jacobi) Export() *Artifact {
+	if j.inv == nil {
+		return nil
+	}
+	return &Artifact{vals: j.inv, flops: float64(len(j.diag))}
+}
+
+// Adopt implements Cacheable.
+func (j *Jacobi) Adopt(a *Artifact) error {
+	if a == nil {
+		return fmt.Errorf("precond: Jacobi cannot adopt a nil artifact")
+	}
+	if len(a.vals) != len(j.diag) {
+		return fmt.Errorf("precond: Jacobi artifact carries %d values, rank owns %d rows", a.Len(), len(j.diag))
+	}
+	j.inv = a.vals
+	j.c.Compute(a.flops)
+	return nil
+}
+
+// Export implements Cacheable.
+func (b *BlockJacobi) Export() *Artifact {
+	if !b.setup {
+		return nil
+	}
+	return &Artifact{vals: b.val, flops: b.setupFlops}
+}
+
+// Adopt implements Cacheable.
+func (b *BlockJacobi) Adopt(a *Artifact) error {
+	if a == nil {
+		return fmt.Errorf("precond: BlockJacobi cannot adopt a nil artifact")
+	}
+	if len(a.vals) != len(b.orig) {
+		return fmt.Errorf("precond: BlockJacobi artifact carries %d values, block stores %d", a.Len(), len(b.orig))
+	}
+	b.val = a.vals
+	b.setupFlops = a.flops
+	b.setup = true
+	b.c.Compute(a.flops)
+	return nil
+}

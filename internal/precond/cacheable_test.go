@@ -1,0 +1,203 @@
+package precond
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/problems"
+)
+
+const cacheGrid = 12 // test problem: Poisson on a 12×12 interior
+
+// buildCacheable constructs one preconditioner of the named family.
+func buildCacheable(t *testing.T, c *comm.Comm, name string) Cacheable {
+	t.Helper()
+	a := problems.Poisson2D(cacheGrid, cacheGrid)
+	switch name {
+	case "jacobi":
+		return NewJacobi(c, a)
+	case "bj-ilu":
+		return NewBlockJacobiILU(c, a)
+	}
+	t.Fatalf("unknown cacheable family %q", name)
+	return nil
+}
+
+// localSlab returns this rank's (lo, hi) row range of the test problem.
+func localSlab(c *comm.Comm) (int, int) {
+	pt := dist.Partition{N: cacheGrid * cacheGrid, P: c.Size()}
+	return pt.Range(c.Rank())
+}
+
+func testRHS(lo, hi int) []float64 {
+	r := make([]float64, hi-lo)
+	for i := range r {
+		r[i] = float64((lo+i)%7) - 2.5
+	}
+	return r
+}
+
+// TestSharedSetupConcurrentApply pins the cache-safety contract the
+// solve service relies on: solves in two concurrently-running worlds
+// whose preconditioners share ONE Setup result (each rank Adopted the
+// artifact a donor world exported — same backing arrays, no copy) must
+// produce ApplyInto outputs identical to a fresh, unshared Setup. This
+// only holds if ApplyInto treats the setup data as read-only: a racy
+// write into the shared factors is caught by -race, a deterministic
+// one by the bitwise comparison.
+func TestSharedSetupConcurrentApply(t *testing.T) {
+	const ranks = 2
+	cfg := func() comm.Config {
+		return comm.Config{Ranks: ranks, Cost: machine.DefaultCostModel(), Seed: 1}
+	}
+	for _, name := range []string{"jacobi", "bj-ilu"} {
+		t.Run(name, func(t *testing.T) {
+			// Reference outputs from a fresh, unshared Setup.
+			want := make([][]float64, ranks)
+			err := comm.Run(cfg(), func(c *comm.Comm) error {
+				p := buildCacheable(t, c, name)
+				if err := p.Setup(); err != nil {
+					return err
+				}
+				lo, hi := localSlab(c)
+				z := make([]float64, hi-lo)
+				if err := p.ApplyInto(testRHS(lo, hi), z); err != nil {
+					return err
+				}
+				want[c.Rank()] = z
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Donor world: run Setup once, export per-rank artifacts.
+			arts := make([]*Artifact, ranks)
+			err = comm.Run(cfg(), func(c *comm.Comm) error {
+				p := buildCacheable(t, c, name)
+				if err := p.Setup(); err != nil {
+					return err
+				}
+				arts[c.Rank()] = p.Export()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, a := range arts {
+				if a == nil {
+					t.Fatalf("rank %d exported a nil artifact after successful Setup", r)
+				}
+			}
+
+			// Two worlds adopt the same artifacts and apply concurrently.
+			const worlds, rounds = 2, 25
+			outs := make([][][]float64, worlds)
+			errs := make([]error, worlds)
+			var wg sync.WaitGroup
+			for w := 0; w < worlds; w++ {
+				outs[w] = make([][]float64, ranks)
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					errs[w] = comm.Run(cfg(), func(c *comm.Comm) error {
+						p := buildCacheable(t, c, name)
+						if err := p.Adopt(arts[c.Rank()]); err != nil {
+							return err
+						}
+						lo, hi := localSlab(c)
+						r := testRHS(lo, hi)
+						z := make([]float64, hi-lo)
+						for round := 0; round < rounds; round++ {
+							if err := p.ApplyInto(r, z); err != nil {
+								return err
+							}
+						}
+						outs[w][c.Rank()] = z
+						return nil
+					})
+				}(w)
+			}
+			wg.Wait()
+			for w, err := range errs {
+				if err != nil {
+					t.Fatalf("world %d: %v", w, err)
+				}
+			}
+			for w := 0; w < worlds; w++ {
+				for r := 0; r < ranks; r++ {
+					for i := range want[r] {
+						if outs[w][r][i] != want[r][i] {
+							t.Errorf("world %d rank %d diverges from fresh Setup at element %d: %g != %g",
+								w, r, i, outs[w][r][i], want[r][i])
+							break
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAdoptChargesSetupCost pins the byte-identical-results contract:
+// adopting an artifact must advance the virtual clock exactly as far as
+// running Setup would have, so a cache-hit solve and a cache-miss solve
+// have identical virtual timelines.
+func TestAdoptChargesSetupCost(t *testing.T) {
+	for _, name := range []string{"jacobi", "bj-ilu"} {
+		t.Run(name, func(t *testing.T) {
+			err := comm.Run(comm.Config{Ranks: 2, Cost: machine.DefaultCostModel(), Seed: 1}, func(c *comm.Comm) error {
+				fresh := buildCacheable(t, c, name)
+				t0 := c.Clock()
+				if err := fresh.Setup(); err != nil {
+					return err
+				}
+				setupCost := c.Clock() - t0
+
+				adopter := buildCacheable(t, c, name)
+				t1 := c.Clock()
+				if err := adopter.Adopt(fresh.Export()); err != nil {
+					return err
+				}
+				adoptCost := c.Clock() - t1
+				if adoptCost != setupCost {
+					t.Errorf("Adopt advanced the clock by %g s, Setup by %g s — cached runs would diverge", adoptCost, setupCost)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAdoptRejectsMismatchedArtifact: an artifact from a different
+// matrix (wrong length) must be refused, not silently installed.
+func TestAdoptRejectsMismatchedArtifact(t *testing.T) {
+	err := comm.Run(comm.Config{Ranks: 1, Cost: machine.DefaultCostModel(), Seed: 1}, func(c *comm.Comm) error {
+		small := NewJacobi(c, problems.Poisson2D(4, 4))
+		if err := small.Setup(); err != nil {
+			return err
+		}
+		big := NewJacobi(c, problems.Poisson2D(cacheGrid, cacheGrid))
+		if err := big.Adopt(small.Export()); err == nil {
+			t.Error("Jacobi.Adopt accepted an artifact of the wrong size")
+		}
+		bsmall := NewBlockJacobiILU(c, problems.Poisson2D(4, 4))
+		if err := bsmall.Setup(); err != nil {
+			return err
+		}
+		bbig := NewBlockJacobiILU(c, problems.Poisson2D(cacheGrid, cacheGrid))
+		if err := bbig.Adopt(bsmall.Export()); err == nil {
+			t.Error("BlockJacobi.Adopt accepted an artifact of the wrong size")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

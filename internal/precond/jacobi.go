@@ -33,18 +33,19 @@ func NewJacobi(c *comm.Comm, a *la.CSR) *Jacobi {
 	return &Jacobi{c: c, diag: diag}
 }
 
-// Setup implements Preconditioner: precomputes the reciprocals.
+// Setup implements Preconditioner: precomputes the reciprocals. The
+// reciprocals go into fresh storage, so re-running Setup can never
+// mutate values previously shared through Export.
 func (j *Jacobi) Setup() error {
-	if j.inv == nil {
-		j.inv = make([]float64, len(j.diag))
-	}
+	inv := make([]float64, len(j.diag))
 	for i, v := range j.diag {
 		if v == 0 {
 			j.inv = nil
 			return fmt.Errorf("precond: zero diagonal at local row %d", i)
 		}
-		j.inv[i] = 1 / v
+		inv[i] = 1 / v
 	}
+	j.inv = inv
 	j.c.Compute(float64(len(j.diag)))
 	return nil
 }

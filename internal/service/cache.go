@@ -1,0 +1,125 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/precond"
+)
+
+// CacheStats are the setup cache's hit/miss counters, exposed through
+// GET /stats. Setup counters only ever see cacheable preconditioner
+// families (campaign consults the cache for precond.Cacheable only),
+// so the hit rate measures real reuse, not structural misses.
+type CacheStats struct {
+	ProblemHits   int64 `json:"problem_hits"`
+	ProblemMisses int64 `json:"problem_misses"`
+	SetupHits     int64 `json:"setup_hits"`
+	SetupMisses   int64 `json:"setup_misses"`
+}
+
+// problemKey identifies one assembled problem.
+type problemKey struct {
+	name string
+	grid int
+}
+
+// problemEntry is one cached assembly; the Once collapses concurrent
+// first requests for the same problem into a single build.
+type problemEntry struct {
+	once sync.Once
+	p    campaign.Problem
+	err  error
+}
+
+// setupEntryKey is one rank's slot of a preconditioner Setup artifact.
+type setupEntryKey struct {
+	campaign.SetupKey
+	rank int
+}
+
+// Cache shares solve-setup work across requests: problem assemblies
+// keyed by (problem, grid), and preconditioner Setup artifacts keyed by
+// (problem, grid, ranks, precond, rank). Both are immutable once
+// stored — problems are shared read-only by every rank of every run,
+// and artifacts follow precond.Cacheable's read-only contract — so a
+// hit is a pure wall-clock saving with bitwise-unchanged results.
+// Cache is safe for concurrent use from the rank goroutines of
+// concurrently executing runs.
+type Cache struct {
+	mu       sync.Mutex
+	problems map[problemKey]*problemEntry
+	setups   map[setupEntryKey]*precond.Artifact
+	stats    CacheStats
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		problems: make(map[problemKey]*problemEntry),
+		setups:   make(map[setupEntryKey]*precond.Artifact),
+	}
+}
+
+// Problem returns the cached assembly of the named problem, building it
+// on first request. Concurrent first requests build once; everyone
+// shares the result read-only.
+func (c *Cache) Problem(name string, grid int) (campaign.Problem, error) {
+	k := problemKey{name: name, grid: grid}
+	c.mu.Lock()
+	e, ok := c.problems[k]
+	if ok {
+		c.stats.ProblemHits++
+	} else {
+		e = &problemEntry{}
+		c.problems[k] = e
+		c.stats.ProblemMisses++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.p, e.err = campaign.BuildProblem(name, grid)
+	})
+	return e.p, e.err
+}
+
+// Lookup implements campaign.SetupCache.
+func (c *Cache) Lookup(k campaign.SetupKey, rank int) *precond.Artifact {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.setups[setupEntryKey{SetupKey: k, rank: rank}]
+	if a != nil {
+		c.stats.SetupHits++
+	} else {
+		c.stats.SetupMisses++
+	}
+	return a
+}
+
+// Store implements campaign.SetupCache. The first artifact stored for a
+// key wins; artifacts are deterministic functions of the key, so later
+// duplicates (two concurrent misses) carry identical data anyway.
+func (c *Cache) Store(k campaign.SetupKey, rank int, a *precond.Artifact) {
+	if a == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ek := setupEntryKey{SetupKey: k, rank: rank}
+	if _, ok := c.setups[ek]; !ok {
+		c.setups[ek] = a
+	}
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Env returns the campaign execution environment that routes one run's
+// assembly through this cache and its progress through the given sink
+// (nil for none).
+func (c *Cache) Env(progress func(attempt, iter int, relres float64)) *campaign.ExecEnv {
+	return &campaign.ExecEnv{Problems: c.Problem, Setups: c, Progress: progress}
+}

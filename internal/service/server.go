@@ -1,0 +1,278 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers sizes the solve pool (default GOMAXPROCS).
+	Workers int
+	// Queue is the pending-solve queue depth (default 4×Workers). A
+	// full queue rejects new work with 503.
+	Queue int
+}
+
+// Server is the solve service: an http.Handler exposing the
+// repro-solve/v1 endpoints over a shared worker pool and setup cache.
+// Create one with New, mount Handler somewhere, and Close it to drain.
+type Server struct {
+	workers int
+	queue   int
+	pool    *pool
+	cache   *Cache
+	mux     *http.ServeMux
+	start   time.Time
+
+	mu        sync.Mutex
+	received  int64
+	completed int64
+	errored   int64
+	rejected  int64
+	perSolver map[string]int64
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 4 * opts.Workers
+	}
+	s := &Server{
+		workers:   opts.Workers,
+		queue:     opts.Queue,
+		pool:      newPool(opts.Workers, opts.Queue),
+		cache:     NewCache(),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		perSolver: make(map[string]int64),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool: every queued and running solve
+// completes, then the workers exit. Stop the HTTP listener first
+// (http.Server.Shutdown) so no new work arrives while draining.
+func (s *Server) Close() { s.pool.close() }
+
+// Cache exposes the server's setup cache (tests and /stats).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// HealthzResponse is the body of GET /healthz.
+type HealthzResponse struct {
+	// Schema is "repro-solve/v1".
+	Schema string `json:"schema"`
+	// OK is true while the server accepts work.
+	OK bool `json:"ok"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	// Schema is "repro-solve/v1".
+	Schema string `json:"schema"`
+	// UptimeSec is seconds since the server started.
+	UptimeSec float64 `json:"uptime_sec"`
+	// Workers and QueueDepth describe the pool: fixed worker count,
+	// currently queued runs, currently executing runs.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+	// Received counts runs accepted for execution; Completed the runs
+	// finished; Errored the completed runs whose record carries a
+	// harness error; Rejected the runs refused by a full queue.
+	Received  int64 `json:"received"`
+	Completed int64 `json:"completed"`
+	Errored   int64 `json:"errored"`
+	Rejected  int64 `json:"rejected"`
+	// PerSolver counts completed runs by solver axis value.
+	PerSolver map[string]int64 `json:"per_solver"`
+	// Cache carries the setup cache's hit/miss counters.
+	Cache CacheStats `json:"cache"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthzResponse{Schema: Schema, OK: true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := StatsResponse{
+		Schema:     Schema,
+		UptimeSec:  time.Since(s.start).Seconds(),
+		Workers:    s.workers,
+		QueueDepth: s.pool.depth(),
+		InFlight:   s.pool.running(),
+		Received:   s.received,
+		Completed:  s.completed,
+		Errored:    s.errored,
+		Rejected:   s.rejected,
+		PerSolver:  make(map[string]int64, len(s.perSolver)),
+	}
+	for k, v := range s.perSolver {
+		resp.PerSolver[k] = v
+	}
+	s.mu.Unlock()
+	resp.Cache = s.cache.Stats()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execute runs one request's solve on the calling goroutine (a pool
+// worker) and updates the counters.
+func (s *Server) execute(req *SolveRequest, progress func(attempt, iter int, relres float64)) campaign.Record {
+	spec, cell := req.SpecCell()
+	rec := campaign.ExecuteRunEnv(&spec, cell, req.Rep, s.cache.Env(progress))
+	s.mu.Lock()
+	s.completed++
+	s.perSolver[req.Solver]++
+	if rec.Err != "" {
+		s.errored++
+	}
+	s.mu.Unlock()
+	return rec
+}
+
+// schedule submits one request to the pool; the returned channel
+// yields the record when the run completes. ok is false when the queue
+// is full.
+func (s *Server) schedule(req *SolveRequest, progress func(attempt, iter int, relres float64)) (<-chan campaign.Record, bool) {
+	done := make(chan campaign.Record, 1)
+	accepted := s.pool.submit(func() {
+		done <- s.execute(req, progress)
+	})
+	s.account(accepted)
+	if !accepted {
+		return nil, false
+	}
+	return done, true
+}
+
+// scheduleWait is schedule's blocking variant for campaign feeders: it
+// waits for queue headroom — only half the queue, so bulk traffic
+// always leaves slots for fail-fast interactive solves — and keeps the
+// same received/rejected accounting as schedule, so /stats never
+// undercounts refusals.
+func (s *Server) scheduleWait(req *SolveRequest, deliver chan<- campaign.Record) bool {
+	accepted := s.pool.submitWait(func() {
+		deliver <- s.execute(req, nil)
+	}, s.queue/2)
+	s.account(accepted)
+	return accepted
+}
+
+// account records one scheduling outcome.
+func (s *Server) account(accepted bool) {
+	s.mu.Lock()
+	if accepted {
+		s.received++
+	} else {
+		s.rejected++
+	}
+	s.mu.Unlock()
+}
+
+// maxRequestBytes caps a request body: axis lists in a campaign spec
+// (and everything else in a v1 request) comfortably fit, while a
+// memory-exhaustion body is refused at the transport.
+const maxRequestBytes = 1 << 20
+
+// maxCampaignRuns bounds the grid one /v1/campaign request may expand.
+// The campaign stream materialises its job list and result buffer up
+// front, so an unbounded spec would be a one-request OOM rather than
+// pool backpressure; bigger campaigns are sharded across requests.
+const maxCampaignRuns = 1 << 20
+
+// campaignRunBound over-approximates a spec's total runs (the full
+// axis product times replicates — pruning only shrinks it) without
+// expanding anything, in float64 so huge specs cannot overflow the
+// check they are being tested against.
+func campaignRunBound(spec *campaign.Spec) float64 {
+	f := float64(spec.Replicates)
+	for _, n := range []int{len(spec.Solvers), len(spec.Preconds), len(spec.Problems), len(spec.Ranks), len(spec.Faults)} {
+		f *= float64(n)
+	}
+	if len(spec.Noises) > 0 {
+		f *= float64(len(spec.Noises))
+	}
+	return f
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	var req SolveRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Stream {
+		s.streamSolve(r.Context(), w, &req)
+		return
+	}
+	done, ok := s.schedule(&req, nil)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "queue full, retry later")
+		return
+	}
+	rec := <-done
+	writeJSON(w, http.StatusOK, SolveResponse{Schema: Schema, Record: rec})
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	var req CampaignRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Schema != Schema {
+		writeError(w, http.StatusBadRequest, "schema "+req.Schema+" is not "+Schema)
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if bound := campaignRunBound(&req.Spec); bound > maxCampaignRuns {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("campaign expands to up to %.3g runs; this server accepts at most %d per request — shard it", bound, maxCampaignRuns))
+		return
+	}
+	shard, shards, err := campaign.ParseShard(req.Shard)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.streamCampaign(r.Context(), w, &req.Spec, shard, shards)
+}
+
+// writeJSON writes one JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError writes the canonical error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Schema: Schema, Error: msg})
+}

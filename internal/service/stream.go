@@ -1,0 +1,173 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/campaign"
+)
+
+// progressBuffer bounds the per-solve progress queue. A slow SSE
+// consumer drops progress events past this depth instead of stalling
+// the solver (the final result event is never dropped).
+const progressBuffer = 4096
+
+// writeSSE emits one Server-Sent Event with a JSON data payload.
+func writeSSE(w http.ResponseWriter, fl http.Flusher, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	fl.Flush()
+}
+
+// streamSolve answers a Stream=true solve request with Server-Sent
+// Events: one "progress" event per solver iteration observed on rank 0
+// (with its global-restart attempt and relative residual) and a final
+// "result" event carrying the SolveResponse. Events for one attempt
+// arrive in iteration order; a consumer slower than the solver may
+// lose intermediate progress events (never the result). A client that
+// disconnects stops the event writer; the solve itself finishes in the
+// background (a world cannot be cancelled mid-solve) and still counts
+// in /stats.
+func (s *Server) streamSolve(ctx context.Context, w http.ResponseWriter, req *SolveRequest) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	events := make(chan ProgressEvent, progressBuffer)
+	progress := func(attempt, iter int, relres float64) {
+		select {
+		case events <- ProgressEvent{Attempt: attempt, Iter: iter, Relres: relres}:
+		default:
+			// Slow consumer: drop the event rather than stall the solve.
+		}
+	}
+	done, ok := s.schedule(req, progress)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "queue full, retry later")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var rec campaign.Record
+wait:
+	for {
+		select {
+		case ev := <-events:
+			writeSSE(w, fl, "progress", ev)
+		case rec = <-done:
+			break wait
+		case <-ctx.Done():
+			// Client gone: stop encoding frames into a severed pipe.
+			return
+		}
+	}
+	// The solve has finished, so no further progress events can be
+	// produced; drain what is already queued, then emit the result.
+	for {
+		select {
+		case ev := <-events:
+			writeSSE(w, fl, "progress", ev)
+		default:
+			writeSSE(w, fl, "result", SolveResponse{Schema: Schema, Record: rec})
+			return
+		}
+	}
+}
+
+// streamCampaign executes one campaign shard over the shared pool and
+// streams each completed run as one NDJSON campaign.Record line
+// (completion order — arbitrary, exactly like a local engine's JSONL),
+// followed by a CampaignSummary line. Record lines carry the
+// repro-campaign/v1 schema tag, so campaign.ReadRecords-style readers
+// can consume the stream unchanged and skip the summary. A client
+// that disconnects mid-stream stops the feeder at the next run: work
+// already queued completes, the rest is never scheduled — abandoned
+// campaigns must not monopolise the pool against live traffic.
+func (s *Server) streamCampaign(ctx context.Context, w http.ResponseWriter, spec *campaign.Spec, shard, shards int) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	// One expansion and one cell count shared with the local engine
+	// (Spec.ShardRuns, CountShardCells), so the served and direct paths
+	// cannot drift on shard semantics.
+	jobs := spec.ShardRuns(shard, shards)
+	cellCount := campaign.CountShardCells(jobs)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// A small fixed buffer: the writer loop drains continuously, so a
+	// worker briefly blocking on delivery is harmless, and the request
+	// never reserves memory proportional to the grid.
+	results := make(chan campaign.Record, s.workers)
+	// Feed through scheduleWait so a big grid trickles through the
+	// shared bounded pool with headroom left for interactive solves;
+	// runs refused because the server started draining become
+	// harness-error records, keeping the stream complete.
+	go func() {
+		for _, j := range jobs {
+			if ctx.Err() != nil {
+				results <- errorRecord(spec, j.Cell, j.Rep, "service: client disconnected, run not executed", true)
+				continue
+			}
+			req := NewSolveRequest(spec, j.Cell, j.Rep)
+			if !s.scheduleWait(&req, results) {
+				results <- errorRecord(spec, j.Cell, j.Rep, "service: server draining, run not executed", true)
+			}
+		}
+	}()
+
+	enc := json.NewEncoder(w)
+	summary := CampaignSummary{Schema: SummarySchema, Cells: cellCount, Runs: len(jobs)}
+	for i := 0; i < len(jobs); i++ {
+		rec := <-results
+		if rec.Err != "" {
+			summary.Errored++
+		}
+		enc.Encode(rec)
+		fl.Flush()
+	}
+	enc.Encode(summary)
+	fl.Flush()
+}
+
+// errorRecord is the harness-error record for a run that could not
+// execute (pool draining, transport failure, abandoned request). It
+// carries the identity fields a real record would — via the one
+// constructor campaign itself uses — so aggregation sees an errored
+// replicate rather than a missing one. transient marks retryable
+// infrastructure failures: resume re-executes those, and aggregation
+// prefers the retry's real outcome; a permanent rejection stays a
+// decided record.
+func errorRecord(spec *campaign.Spec, cell campaign.Cell, rep int, msg string, transient bool) campaign.Record {
+	rec := cell.Record(spec, rep)
+	rec.Err = msg
+	rec.Transient = transient
+	return rec
+}
+
+// NewSolveRequest builds the repro-solve/v1 request for one (cell,
+// replicate) of a campaign spec — the bridge both the remote-execution
+// client and the server-side campaign endpoint go through, so the two
+// paths cannot drift.
+func NewSolveRequest(spec *campaign.Spec, cell campaign.Cell, rep int) SolveRequest {
+	return SolveRequest{
+		Schema: Schema, Solver: cell.Solver, Precond: cell.Precond,
+		Problem: cell.Problem, Ranks: cell.Ranks, Grid: spec.Grid,
+		Fault: cell.Fault, Noise: cell.Noise,
+		Seed: spec.Seed, Cell: cell.Index, Rep: rep,
+		Tol: spec.Tol, MaxIter: spec.MaxIter, MaxRestarts: spec.MaxRestarts,
+	}
+}
