@@ -14,6 +14,7 @@
 //	campaign -spec quick -shard 0/2 -runs shard0.jsonl -no-agg       # CI fan-out, half 1
 //	campaign -spec quick -shard 1/2 -runs shard1.jsonl -no-agg       # CI fan-out, half 2
 //	campaign -aggregate-only -spec quick -label ci shard0.jsonl shard1.jsonl
+//	campaign -spec quick -label dev -trace traces -trace-chrome      # per-run event timelines
 //
 // The spec is "quick", "full", or a path to a JSON Spec file (see
 // docs/CAMPAIGNS.md for the format and the JSONL/aggregate schemas).
@@ -43,6 +44,8 @@ type options struct {
 	aggOnly bool
 	noAgg   bool
 	quiet   bool
+	trace   string
+	chrome  bool
 }
 
 // newFlags builds the flag set. Keeping construction in one function is
@@ -61,6 +64,8 @@ func newFlags() (*flag.FlagSet, *options) {
 	fs.BoolVar(&o.aggOnly, "aggregate-only", false, "skip running; aggregate the JSONL files given as arguments")
 	fs.BoolVar(&o.noAgg, "no-agg", false, "skip aggregation after the run (sharded CI jobs)")
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress per-run progress lines")
+	fs.StringVar(&o.trace, "trace", "", "write one repro-trace/v1 event timeline per run into this directory")
+	fs.BoolVar(&o.chrome, "trace-chrome", false, "with -trace, also write Chrome trace-event files for timeline viewers")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: campaign [flags] [jsonl files with -aggregate-only]\n\n")
 		fmt.Fprintf(fs.Output(), "Sweeps the solver x precond x problem x ranks x fault grid of a\n")
@@ -137,6 +142,7 @@ func run(fs *flag.FlagSet, o *options) error {
 	opts := campaign.Options{
 		Spec: spec, Shard: shard, Shards: shards, Workers: o.workers,
 		Out: runsPath, Resume: o.resume, Ledger: led,
+		TraceDir: o.trace, TraceChrome: o.chrome,
 	}
 	if !o.quiet {
 		opts.Progress = os.Stderr
@@ -150,6 +156,9 @@ func run(fs *flag.FlagSet, o *options) error {
 		shard, shards, st.Cells, st.Planned, st.Resumed, st.Executed, st.Errored, runsPath)
 	fmt.Printf("simulated: %d worlds, %d rank executions, %.3g virtual rank-seconds\n",
 		snap.Worlds, snap.Ranks, snap.RankSeconds)
+	if o.trace != "" {
+		fmt.Printf("traced %d runs -> %s\n", st.Executed, o.trace)
+	}
 
 	if o.noAgg {
 		return nil

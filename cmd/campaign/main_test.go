@@ -13,7 +13,7 @@ import (
 // real flag set, so the usage text cannot drift from the flags main
 // parses.
 func TestDocumentedInvocationsParse(t *testing.T) {
-	sources := []string{"main.go", "../../README.md", "../../docs/CAMPAIGNS.md", "../../docs/ARCHITECTURE.md"}
+	sources := []string{"main.go", "../../README.md", "../../docs/CAMPAIGNS.md", "../../docs/ARCHITECTURE.md", "../../docs/OBSERVABILITY.md"}
 	seen := 0
 	for _, path := range sources {
 		data, err := os.ReadFile(path)
@@ -43,7 +43,7 @@ func TestDefaultsAreSane(t *testing.T) {
 	if err := fs.Parse(nil); err != nil {
 		t.Fatal(err)
 	}
-	if o.spec != "quick" || o.label != "dev" || o.shard != "0/1" || o.resume || o.noAgg || o.aggOnly {
+	if o.spec != "quick" || o.label != "dev" || o.shard != "0/1" || o.resume || o.noAgg || o.aggOnly || o.trace != "" || o.chrome {
 		t.Errorf("defaults drifted: %+v", o)
 	}
 }

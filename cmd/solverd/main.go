@@ -12,6 +12,7 @@
 //
 //	solverd serve -addr :8077                                          # start the service
 //	solverd serve -addr :8077 -workers 8 -queue 64                     # sized pool
+//	solverd serve -addr :8077 -pprof -trace-dir traces                 # debug profiling + per-run traces
 //	solverd submit -addr http://localhost:8077 -spec quick -label dev  # campaign through the service
 //	solverd submit -addr http://localhost:8077 -spec quick -shard 0/2 -runs shard0.jsonl -no-agg
 //	solverd smoke -spec quick -label ci                                # in-process served-vs-direct diff
@@ -27,8 +28,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -79,10 +83,12 @@ func usage(w *os.File) {
 
 // serveOptions carries the serve-mode flags.
 type serveOptions struct {
-	addr    string
-	workers int
-	queue   int
-	drain   time.Duration
+	addr     string
+	workers  int
+	queue    int
+	drain    time.Duration
+	pprof    bool
+	traceDir string
 }
 
 // newServeFlags builds the serve flag set; keeping construction in one
@@ -94,7 +100,23 @@ func newServeFlags() (*flag.FlagSet, *serveOptions) {
 	fs.IntVar(&o.workers, "workers", 0, "solve pool size (0 = GOMAXPROCS)")
 	fs.IntVar(&o.queue, "queue", 0, "pending-solve queue depth (0 = 4x workers)")
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "shutdown drain deadline; in-flight requests past it are cut (size to your longest campaign request)")
+	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in; exposes goroutine and heap internals)")
+	fs.StringVar(&o.traceDir, "trace-dir", "", "write one repro-trace/v1 event timeline per executed run into this directory")
 	return fs, o
+}
+
+// withPprof mounts the net/http/pprof handlers next to the service —
+// explicitly, not via the package's DefaultServeMux side effect, so the
+// profiling surface exists only behind the opt-in flag.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func runServe(args []string) error {
@@ -103,8 +125,12 @@ func runServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := service.New(service.Options{Workers: o.workers, Queue: o.queue})
-	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	srv := service.New(service.Options{Workers: o.workers, Queue: o.queue, TraceDir: o.traceDir})
+	handler := http.Handler(srv.Handler())
+	if o.pprof {
+		handler = withPprof(handler)
+	}
+	hs := &http.Server{Addr: o.addr, Handler: handler}
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -340,11 +366,58 @@ func runSmoke(args []string) error {
 	if stats.Cache.SetupHits == 0 {
 		return fmt.Errorf("smoke: setup cache reported no hits under repeated-cell traffic")
 	}
+	if err := checkMetrics(cl.Base, stats); err != nil {
+		return err
+	}
 	// A machine-readable verdict line for the CI log.
 	verdict, _ := json.Marshal(map[string]any{
 		"schema": service.Schema, "smoke": "ok", "runs": stats.Completed,
 		"setup_hits": stats.Cache.SetupHits, "setup_misses": stats.Cache.SetupMisses,
 	})
 	fmt.Println(string(verdict))
+	return nil
+}
+
+// checkMetrics scrapes GET /metrics after the loadgen traffic and
+// asserts the Prometheus surface reconciles exactly with /stats: both
+// read the same counters, so any disagreement is a wiring bug worth
+// failing CI over.
+func checkMetrics(base string, stats service.StatsResponse) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	series, err := obs.ParseText(body)
+	if err != nil {
+		return fmt.Errorf("smoke: /metrics is not valid exposition text: %w", err)
+	}
+	for name, want := range map[string]int64{
+		"repro_runs_completed_total":       stats.Completed,
+		"repro_runs_errored_total":         stats.Errored,
+		"repro_setup_cache_hits_total":     stats.Cache.SetupHits,
+		"repro_setup_cache_misses_total":   stats.Cache.SetupMisses,
+		"repro_problem_cache_hits_total":   stats.Cache.ProblemHits,
+		"repro_problem_cache_misses_total": stats.Cache.ProblemMisses,
+	} {
+		got, ok := series[name]
+		if !ok {
+			return fmt.Errorf("smoke: /metrics is missing %s", name)
+		}
+		if got != float64(want) {
+			return fmt.Errorf("smoke: %s is %g on /metrics but %d on /stats", name, got, want)
+		}
+	}
+	for _, h := range []string{"repro_run_queue_wait_seconds", "repro_run_execute_seconds"} {
+		if series[h+"_count"] != float64(stats.Completed) {
+			return fmt.Errorf("smoke: %s_count is %g, want one observation per completed run (%d)",
+				h, series[h+"_count"], stats.Completed)
+		}
+	}
+	fmt.Printf("smoke: /metrics reconciles with /stats (%d series scraped)\n", len(series))
 	return nil
 }

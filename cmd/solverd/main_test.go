@@ -20,7 +20,7 @@ func TestDocumentedInvocationsParse(t *testing.T) {
 		"submit": func() *flag.FlagSet { fs, _ := newSubmitFlags(); return fs },
 		"smoke":  func() *flag.FlagSet { fs, _ := newSmokeFlags(); return fs },
 	}
-	sources := []string{"main.go", "../../README.md", "../../docs/SERVICE.md", "../../docs/ARCHITECTURE.md"}
+	sources := []string{"main.go", "../../README.md", "../../docs/SERVICE.md", "../../docs/ARCHITECTURE.md", "../../docs/OBSERVABILITY.md"}
 	seen := 0
 	for _, path := range sources {
 		data, err := os.ReadFile(path)
@@ -49,7 +49,7 @@ func TestDefaultsAreSane(t *testing.T) {
 	if err := sfs.Parse(nil); err != nil {
 		t.Fatal(err)
 	}
-	if so.addr != ":8077" || so.workers != 0 || so.queue != 0 {
+	if so.addr != ":8077" || so.workers != 0 || so.queue != 0 || so.pprof || so.traceDir != "" {
 		t.Errorf("serve defaults drifted: %+v", so)
 	}
 	ufs, uo := newSubmitFlags()

@@ -161,6 +161,36 @@ func TestCompareGates(t *testing.T) {
 	}
 }
 
+// TestObsKernelsAllocationFree pins the observability cost contract:
+// the disabled-telemetry path (every sink nil — the state an
+// uninstrumented solve runs in) and live counter/histogram updates must
+// both be allocation-free, so wiring obs through the hot paths cannot
+// regress the repo's 0 allocs/op kernels.
+func TestObsKernelsAllocationFree(t *testing.T) {
+	rep, err := RunHarness(HarnessOptions{
+		Label:       "obs",
+		Quick:       true,
+		Repeat:      1,
+		KernelNames: []string{"kernel/obs-disabled-telemetry", "kernel/obs-enabled-metrics"},
+		BenchTime:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"kernel/obs-disabled-telemetry", "kernel/obs-enabled-metrics"} {
+		k, ok := rep.Lookup(name)
+		if !ok {
+			t.Fatalf("missing %s result", name)
+		}
+		if k.AllocsPerOp != 0 {
+			t.Errorf("%s: %g allocs/op, want 0", name, k.AllocsPerOp)
+		}
+		if k.NsPerOp <= 0 || k.Iters == 0 {
+			t.Errorf("%s: metrics not populated: %+v", name, k)
+		}
+	}
+}
+
 // TestKernelsRegistry sanity-checks the kernel registry shape.
 func TestKernelsRegistry(t *testing.T) {
 	seen := map[string]bool{}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/krylov"
 	"repro/internal/la"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/precond"
 	"repro/internal/problems"
 	"repro/internal/skp"
@@ -41,6 +42,8 @@ func Kernels() []Kernel {
 		{Name: "kernel/comm-allreduce-p64", Setup: func() (func(int), func()) { return allreduceKernel(64) }},
 		{Name: "kernel/precond-bjacobi-apply-p4", Setup: bjacobiApplyKernel},
 		{Name: "kernel/precond-chebyshev-apply-p4", Setup: chebyshevApplyKernel},
+		{Name: "kernel/obs-disabled-telemetry", Setup: obsDisabledKernel},
+		{Name: "kernel/obs-enabled-metrics", Setup: obsEnabledKernel},
 	}
 }
 
@@ -300,6 +303,46 @@ func chebyshevApplyKernel() (func(n int), func()) {
 			return nil
 		}
 	})
+}
+
+// obsDisabledKernel measures the disabled-telemetry path: every obs
+// sink is nil (the state a solve runs in when no registry or tracer is
+// attached), and one op is the full set of hook calls an instrumented
+// hot path would make. The allocs/op gate pins this at exactly 0 —
+// disabled observability must cost nothing but a nil check.
+func obsDisabledKernel() (func(n int), func()) {
+	var (
+		c  *obs.Counter
+		g  *obs.Gauge
+		h  *obs.Histogram
+		tr *obs.RunTracer
+	)
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			c.Inc()
+			g.Set(float64(i))
+			h.Observe(float64(i))
+			if tr.Enabled() {
+				tr.Emit(0, float64(i), "iteration", 0, i, 0, "")
+			}
+		}
+	}, func() {}
+}
+
+// obsEnabledKernel measures live metric updates: one op is a counter
+// increment plus a histogram observation on a 13-bucket latency layout
+// — the per-run accounting the solve service does. Atomics only, so
+// this is also allocation-free.
+func obsEnabledKernel() (func(n int), func()) {
+	r := obs.NewRegistry()
+	c := r.Counter("bench_ops_total", "ops")
+	h := r.Histogram("bench_latency_seconds", "latency", obs.LatencyBuckets())
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			c.Inc()
+			h.Observe(float64(i%16) * 0.001)
+		}
+	}, func() {}
 }
 
 // allreduceKernel measures one blocking scalar all-reduce across a

@@ -29,6 +29,16 @@ type Options struct {
 	Ledger *comm.Ledger
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+	// TraceDir, when non-empty, records every executed run's event
+	// timeline (repro-trace/v1, see internal/obs) and writes it to
+	// TraceDir as one JSONL file per run, named after the run key.
+	// Tracing requires local execution: combining it with Exec is a
+	// configuration error, because a remote executor's events are not
+	// observable here.
+	TraceDir string
+	// TraceChrome additionally writes each trace in Chrome trace-event
+	// format (a .chrome.json sibling) for timeline viewers.
+	TraceChrome bool
 	// Exec, when non-nil, replaces local ExecuteRun for every run —
 	// the remote-execution hook: cmd/solverd's submit mode sets it to
 	// POST each run to a solve service, turning this engine into a
@@ -70,6 +80,9 @@ func Run(opts Options) (RunStats, error) {
 	}
 	if opts.Out == "" {
 		return st, fmt.Errorf("campaign: engine needs an output path")
+	}
+	if opts.TraceDir != "" && opts.Exec != nil {
+		return st, fmt.Errorf("campaign: tracing requires local execution (TraceDir is incompatible with Exec)")
 	}
 
 	var done map[string]bool
@@ -128,7 +141,18 @@ func Run(opts Options) (RunStats, error) {
 				if opts.Exec != nil {
 					rec = opts.Exec(&spec, j.Cell, j.Rep)
 				} else {
-					rec = ExecuteRun(&spec, j.Cell, j.Rep, opts.Ledger)
+					env := &ExecEnv{Ledger: opts.Ledger}
+					if opts.TraceDir != "" {
+						env.Tracer = NewRunTracer(&spec, j.Cell, j.Rep)
+					}
+					rec = ExecuteRunEnv(&spec, j.Cell, j.Rep, env)
+					if _, err := WriteRunTrace(opts.TraceDir, env.Tracer, opts.TraceChrome); err != nil {
+						mu.Lock()
+						if writeErr == nil {
+							writeErr = err
+						}
+						mu.Unlock()
+					}
 				}
 				mu.Lock()
 				st.Executed++

@@ -11,6 +11,7 @@ import (
 	"repro/internal/krylov"
 	"repro/internal/la"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/precond"
 	"repro/internal/problems"
 	"repro/internal/srp"
@@ -55,8 +56,8 @@ type Env struct {
 	MaxIter int
 	// Hook is this rank's per-iteration observer (nil almost always:
 	// the engine installs one on rank 0 only when an ExecEnv.Progress
-	// sink is attached). Runners thread it into their solver options;
-	// ftgmres has no inner-iteration hook and reports no progress.
+	// sink or Tracer is attached). Runners thread it into their solver
+	// options; for ftgmres it observes the *outer* iterations.
 	Hook krylov.IterationHook
 	// setupKey and xe thread the run's setup-cache identity and
 	// execution environment to runners that build their own sub-stacks:
@@ -65,6 +66,11 @@ type Env struct {
 	// does.
 	setupKey SetupKey
 	xe       *ExecEnv
+	// attempt and tc carry the global-restart attempt number and the
+	// attempt's trace context to runners that emit their own events
+	// (ftgmres's injections and discards).
+	attempt int
+	tc      *traceCtx
 }
 
 // Outcome is what a Runner reports from rank 0 (the SPMD convention:
@@ -169,6 +175,10 @@ func runFTGMRES(env *Env) (Outcome, error) {
 		Inner:    inner,
 		Injector: fault.NewVectorInjector(env.Seed + uint64(env.C.Rank())).WithRate(opRate),
 	}
+	if env.tc.enabled() {
+		c, tc := env.C, env.tc
+		faulty.OnInject = func(n int) { tc.emit(c.Rank(), c.Clock(), "fault_inject", 0, float64(n), "bitflip") }
+	}
 	var innerM krylov.DistPreconditioner
 	if env.Precond == PrecondBJILU {
 		// Set up the raw ILU through the shared setup cache (same
@@ -176,20 +186,38 @@ func runFTGMRES(env *Env) (Outcome, error) {
 		// factorisation itself runs reliably either way, only
 		// applications are corrupted.
 		bj := precond.NewBlockJacobiILU(env.C, env.A)
-		if err := setupWithCache(env.C, bj, env.xe, env.setupKey); err != nil {
+		if err := setupWithCache(env.C, bj, env.xe, env.setupKey, env.tc); err != nil {
 			return Outcome{}, err
 		}
-		innerM = &precond.Faulty{
+		fm := &precond.Faulty{
 			Inner:    bj,
 			Injector: fault.NewVectorInjector(env.Seed + seedOffPrecond + uint64(env.C.Rank())).WithRate(precRate),
 		}
+		if env.tc.enabled() {
+			c, tc := env.C, env.tc
+			fm.OnInject = func(n int) { tc.emit(c.Rank(), c.Clock(), "fault_inject", 0, float64(n), "precond") }
+		}
+		innerM = fm
 	}
 	maxOuter := env.MaxIter / ftgmresInnerIters
 	if maxOuter < 10 {
 		maxOuter = 10
 	}
+	// Discards reach both the live sink (service SSE) and the trace from
+	// rank 0 only; the consensus fires the callback on every rank.
+	var onDiscard func(solve int)
+	if env.C.Rank() == 0 && ((env.xe != nil && env.xe.Discards != nil) || env.tc.enabled()) {
+		c, tc, xe, attempt := env.C, env.tc, env.xe, env.attempt
+		onDiscard = func(solve int) {
+			if xe != nil && xe.Discards != nil {
+				xe.Discards(attempt, solve)
+			}
+			tc.emit(0, c.Clock(), "discard", solve, 0, "")
+		}
+	}
 	res, err := srp.DistFTGMRESPreconditioned(env.C, env.Op, faulty, innerM, env.B, srp.Options{
 		InnerIters: ftgmresInnerIters, Tol: env.Tol, MaxOuter: maxOuter, OuterRestart: 30,
+		Hook: env.Hook, OnDiscard: onDiscard,
 	})
 	out := fromStats(res.Stats)
 	out.Discards = res.InnerDiscards
@@ -296,6 +324,20 @@ type ExecEnv struct {
 	// block for long: the solve's virtual time is unaffected, but its
 	// wall-clock time stalls with it.
 	Progress func(attempt, iter int, relres float64)
+	// Discards, when non-nil, receives rank 0's inner-discard events
+	// (ftgmres cells only): the global-restart attempt and the ordinal
+	// of the inner solve whose result the sanitisation consensus
+	// rejected. Same calling discipline as Progress.
+	Discards func(attempt, solve int)
+	// Tracer, when non-nil, records the run's event timeline (see
+	// internal/obs): run/attempt spans, rank-0 iterations, per-rank
+	// fault injections, rank kills, restarts, setup-cache hits and
+	// inner discards, all stamped with virtual time made monotone
+	// across global-restart attempts. Like the caches, tracing never
+	// perturbs the solve: traces of a seeded run are byte-identical
+	// across reruns (caveat: under rank-kill, survivor-side timings are
+	// scheduling-dependent in their trailing digits — see comm.Die).
+	Tracer *obs.RunTracer
 }
 
 // buildPrecond constructs the named preconditioner over the trusted
@@ -304,7 +346,7 @@ type ExecEnv struct {
 // both through one wrapper. Cacheable families consult env's setup
 // cache: a hit adopts the shared artifact (same virtual cost, no real
 // factorisation work), a miss runs Setup and offers the export back.
-func buildPrecond(c *comm.Comm, name string, p Problem, trusted dist.Operator, env *ExecEnv, key SetupKey) (precond.Preconditioner, error) {
+func buildPrecond(c *comm.Comm, name string, p Problem, trusted dist.Operator, env *ExecEnv, key SetupKey, tc *traceCtx) (precond.Preconditioner, error) {
 	var m precond.Preconditioner
 	switch name {
 	case PrecondJacobi:
@@ -316,7 +358,7 @@ func buildPrecond(c *comm.Comm, name string, p Problem, trusted dist.Operator, e
 	default:
 		return nil, fmt.Errorf("campaign: unknown preconditioner %q", name)
 	}
-	return m, setupWithCache(c, m, env, key)
+	return m, setupWithCache(c, m, env, key, tc)
 }
 
 // setupWithCache runs m's Setup, consulting env's setup cache for
@@ -325,11 +367,12 @@ func buildPrecond(c *comm.Comm, name string, p Problem, trusted dist.Operator, e
 // export back. Both buildPrecond and ftgmres's inner stack go through
 // here, so every factorisation of one (problem, grid, ranks, precond)
 // identity shares one cache entry.
-func setupWithCache(c *comm.Comm, m precond.Preconditioner, env *ExecEnv, key SetupKey) error {
+func setupWithCache(c *comm.Comm, m precond.Preconditioner, env *ExecEnv, key SetupKey, tc *traceCtx) error {
 	if env != nil && env.Setups != nil {
 		if ca, ok := m.(precond.Cacheable); ok {
 			if art := env.Setups.Lookup(key, c.Rank()); art != nil {
 				if err := ca.Adopt(art); err == nil {
+					tc.emit(c.Rank(), c.Clock(), "setup_cache_hit", 0, 0, key.Precond)
 					return nil
 				}
 				// A mismatched artifact (stale or corrupt cache entry)
@@ -340,6 +383,7 @@ func setupWithCache(c *comm.Comm, m precond.Preconditioner, env *ExecEnv, key Se
 				return err
 			}
 			env.Setups.Store(key, c.Rank(), ca.Export())
+			tc.emit(c.Rank(), c.Clock(), "setup_cache_miss", 0, 0, key.Precond)
 			return nil
 		}
 	}
@@ -416,7 +460,7 @@ type attemptState struct {
 
 // runRank is the SPMD body of one solve attempt: assemble the env for
 // this rank (fault wiring included) and dispatch the cell's Runner.
-func runRank(c *comm.Comm, spec *Spec, cell Cell, p Problem, seed uint64, att *attemptState, xe *ExecEnv, attempt int) error {
+func runRank(c *comm.Comm, spec *Spec, cell Cell, p Problem, seed uint64, att *attemptState, xe *ExecEnv, attempt int, tc *traceCtx) error {
 	trusted := dist.NewCSR(c, p.A)
 	var op dist.Operator = trusted
 	var kill *killSchedule
@@ -426,10 +470,14 @@ func runRank(c *comm.Comm, spec *Spec, cell Cell, p Problem, seed uint64, att *a
 		// ftgmres routes the flips into its own inner stack; wrapping
 		// the outer operator too would corrupt the reliable phase.
 		if cell.Solver != SolverFTGMRES {
-			op = &srp.FaultyDistOp{
+			fi := &srp.FaultyDistOp{
 				Inner:    trusted,
 				Injector: fault.NewVectorInjector(seed + seedOffOp + uint64(c.Rank())).WithRate(cell.Fault.Rate),
 			}
+			if tc.enabled() {
+				fi.OnInject = func(n int) { tc.emit(c.Rank(), c.Clock(), "fault_inject", 0, float64(n), "bitflip") }
+			}
+			op = fi
 		}
 	case FaultRankKill:
 		// Every rank draws the same (victim, killAt) pair from the
@@ -448,15 +496,19 @@ func runRank(c *comm.Comm, spec *Spec, cell Cell, p Problem, seed uint64, att *a
 	key := SetupKey{Problem: cell.Problem, Grid: spec.Grid, Ranks: cell.Ranks, Precond: cell.Precond}
 	var m krylov.DistPreconditioner
 	if cell.Solver != SolverFTGMRES && cell.Precond != PrecondNone {
-		pc, err := buildPrecond(c, cell.Precond, p, trusted, xe, key)
+		pc, err := buildPrecond(c, cell.Precond, p, trusted, xe, key, tc)
 		if err != nil {
 			return err
 		}
 		if cell.Fault.Model == FaultFaultyPrecond {
-			pc = &precond.Faulty{
+			fp := &precond.Faulty{
 				Inner:    pc,
 				Injector: fault.NewVectorInjector(seed + seedOffPrecond + uint64(c.Rank())).WithRate(cell.Fault.Rate),
 			}
+			if tc.enabled() {
+				fp.OnInject = func(n int) { tc.emit(c.Rank(), c.Clock(), "fault_inject", 0, float64(n), "precond") }
+			}
+			pc = fp
 		}
 		m = pc
 	}
@@ -466,17 +518,27 @@ func runRank(c *comm.Comm, spec *Spec, cell Cell, p Problem, seed uint64, att *a
 		return fmt.Errorf("campaign: unknown solver %q", cell.Solver)
 	}
 	var hook krylov.IterationHook
-	if xe != nil && xe.Progress != nil && c.Rank() == 0 {
-		hook = func(iter int, relres float64) error {
-			xe.Progress(attempt, iter, relres)
-			return nil
+	if c.Rank() == 0 {
+		var progress, trace krylov.IterationHook
+		if xe != nil && xe.Progress != nil {
+			progress = func(iter int, relres float64) error {
+				xe.Progress(attempt, iter, relres)
+				return nil
+			}
 		}
+		if tc.enabled() {
+			trace = func(iter int, relres float64) error {
+				tc.emit(0, c.Clock(), "iteration", iter, relres, "")
+				return nil
+			}
+		}
+		hook = krylov.ChainHooks(progress, trace)
 	}
 	out, err := run(&Env{
 		C: c, Op: op, A: p.A, M: m, B: trusted.Scatter(p.RHS),
 		Precond: cell.Precond, Fault: cell.Fault, Seed: seed, kill: kill,
 		Tol: spec.Tol, MaxIter: spec.MaxIter, Hook: hook,
-		setupKey: key, xe: xe,
+		setupKey: key, xe: xe, attempt: attempt, tc: tc,
 	})
 	if err != nil {
 		return err
@@ -527,6 +589,8 @@ func ExecuteRunEnv(spec *Spec, cell Cell, rep int, env *ExecEnv) Record {
 		env = &ExecEnv{}
 	}
 	rec := cell.Record(spec, rep)
+	tr := env.Tracer
+	(&traceCtx{tr: tr}).emit(-1, 0, "run_begin", 0, 0, cell.Key())
 	build := BuildProblem
 	if env.Problems != nil {
 		build = env.Problems
@@ -534,6 +598,7 @@ func ExecuteRunEnv(spec *Spec, cell Cell, rep int, env *ExecEnv) Record {
 	p, err := build(cell.Problem, spec.Grid)
 	if err != nil {
 		rec.Err = err.Error()
+		(&traceCtx{tr: tr}).emit(-1, 0, "run_end", 0, 0, "error")
 		return rec
 	}
 	maxAttempts := 1
@@ -541,18 +606,38 @@ func ExecuteRunEnv(spec *Spec, cell Cell, rep int, env *ExecEnv) Record {
 		maxAttempts = spec.MaxRestarts + 1
 	}
 	var vtime float64
+	lastAttempt := 0
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		lastAttempt = attempt
 		aseed := attemptSeed(rec.Seed, attempt)
 		att := &attemptState{death: -1}
+		tc := &traceCtx{tr: tr, base: vtime, attempt: attempt}
+		if attempt > 0 {
+			// The previous attempt's restart has taken effect: a fresh
+			// world (respawned victim included) resumes the run.
+			tc.emit(-1, 0, "recovery", 0, 0, "respawned world")
+		}
+		tc.emit(-1, 0, "attempt_begin", 0, 0, "")
 		cfg := comm.Config{
 			Ranks: cell.Ranks, Cost: machine.DefaultCostModel(),
 			Noise: noiseModel(cell.Noise), Seed: aseed, Ledger: env.Ledger,
 		}
+		if tc.enabled() {
+			cfg.OnFailure = func(rank int, vt float64) {
+				tc.emit(rank, vt, "rank_kill", 0, 0, "mtbf strike")
+			}
+		}
 		err := comm.Run(cfg, func(c *comm.Comm) error {
-			return runRank(c, spec, cell, p, aseed, att, env, attempt)
+			return runRank(c, spec, cell, p, aseed, att, env, attempt, tc)
 		})
 		if err != nil {
 			if isRankFailure(err) && cell.Fault.Model == FaultRankKill {
+				lost := att.death
+				if lost < 0 {
+					lost = 0
+				}
+				tc.emit(-1, lost, "attempt_end", 0, 0, "rank-failure")
+				tc.emit(-1, lost, "restart", 0, 0, "global restart")
 				if att.death > 0 {
 					vtime += att.death // work lost to the failure
 				}
@@ -560,6 +645,7 @@ func ExecuteRunEnv(spec *Spec, cell Cell, rep int, env *ExecEnv) Record {
 				continue
 			}
 			rec.Err = err.Error()
+			tc.emit(-1, 0, "attempt_end", 0, 0, "error")
 			break
 		}
 		vtime += att.out.VTime
@@ -567,6 +653,11 @@ func ExecuteRunEnv(spec *Spec, cell Cell, rep int, env *ExecEnv) Record {
 		rec.Iters = att.out.Iters
 		rec.Discards = att.out.Discards
 		rec.Relres = att.out.Relres
+		detail := "converged"
+		if !att.out.Converged {
+			detail = "unconverged"
+		}
+		tc.emit(-1, att.out.VTime, "attempt_end", att.out.Iters, att.out.Relres, detail)
 		break
 	}
 	rec.VTime = vtime
@@ -575,5 +666,13 @@ func ExecuteRunEnv(spec *Spec, cell Cell, rep int, env *ExecEnv) Record {
 	if math.IsNaN(rec.Relres) || math.IsInf(rec.Relres, 0) {
 		rec.Relres = -1
 	}
+	endDetail := "converged"
+	switch {
+	case rec.Err != "":
+		endDetail = "error"
+	case !rec.Converged:
+		endDetail = "unconverged"
+	}
+	(&traceCtx{tr: tr, attempt: lastAttempt}).emit(-1, vtime, "run_end", rec.Iters, rec.Relres, endDetail)
 	return rec
 }

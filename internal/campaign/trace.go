@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// traceCtx scopes one global-restart attempt's trace emission: base is
+// the virtual time already charged to the run by earlier attempts, so
+// every event lands at base + the attempt-local clock and the run's
+// timeline stays monotone across restarts. A traceCtx with a nil tracer
+// (or a nil traceCtx) emits nothing; callers that would do per-event
+// work first check enabled().
+type traceCtx struct {
+	tr      *obs.RunTracer
+	base    float64
+	attempt int
+}
+
+func (tc *traceCtx) enabled() bool { return tc != nil && tc.tr.Enabled() }
+
+// emit records one event at base + clock on rank's stream. Values that
+// JSON cannot carry (a diverged solve's NaN/Inf residual) clamp to the
+// same -1 sentinel Record.Relres uses.
+func (tc *traceCtx) emit(rank int, clock float64, name string, iter int, value float64, detail string) {
+	if !tc.enabled() {
+		return
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		value = -1
+	}
+	tc.tr.Emit(rank, tc.base+clock, name, tc.attempt, iter, value, detail)
+}
+
+// TraceFileName maps a run key to its trace file name: path separators
+// flatten to underscores, so every run of a campaign traces into one
+// directory.
+func TraceFileName(runKey string) string {
+	return strings.ReplaceAll(runKey, "/", "_") + ".trace.jsonl"
+}
+
+// WriteRunTrace persists one run's trace into dir as repro-trace/v1
+// JSONL (and, when chrome is set, a sibling .chrome.json in Chrome
+// trace-event format), returning the JSONL path. A nil tracer writes
+// nothing.
+func WriteRunTrace(dir string, tr *obs.RunTracer, chrome bool) (string, error) {
+	if !tr.Enabled() {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, TraceFileName(tr.Key()))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	if chrome {
+		cpath := strings.TrimSuffix(path, ".trace.jsonl") + ".chrome.json"
+		cf, err := os.Create(cpath)
+		if err != nil {
+			return "", err
+		}
+		if err := tr.WriteChromeTrace(cf); err != nil {
+			cf.Close()
+			return "", err
+		}
+		if err := cf.Close(); err != nil {
+			return "", err
+		}
+	}
+	return path, nil
+}
+
+// NewRunTracer builds the tracer for one (spec, cell, rep) run, keyed
+// and seeded exactly as the run itself, so a trace file is
+// self-identifying.
+func NewRunTracer(spec *Spec, cell Cell, rep int) *obs.RunTracer {
+	return obs.NewRunTracer(cell.RunKey(rep), RunSeed(spec.Seed, cell.Index, rep))
+}

@@ -85,6 +85,13 @@ func (c *Comm) AdvanceClock(seconds float64) { c.clock.Advance(seconds) }
 // either per-peer-only failure checks (which deadlock survivors
 // blocked on peers that unwound early) or a global deadlock detector.
 func (c *Comm) Die() error {
+	if c.world.onFailure != nil {
+		// Fire before the failure becomes visible: the victim's clock is
+		// final here (a dead rank's clock never advances), and survivors
+		// have not yet been woken, so the callback observes death-time
+		// state without racing the recovery machinery.
+		c.world.onFailure(c.rank, c.clock.Now())
+	}
 	c.world.mu.Lock()
 	c.world.killLocked(c.rank)
 	c.world.mu.Unlock()

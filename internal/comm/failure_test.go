@@ -287,3 +287,47 @@ func TestRepairIsolation(t *testing.T) {
 		}
 	}
 }
+
+// TestOnFailureHook pins Config.OnFailure: it fires once per Die, from
+// the dying rank, carrying the victim's final virtual clock.
+func TestOnFailureHook(t *testing.T) {
+	const P = 3
+	const victim = 2
+	var mu sync.Mutex
+	type death struct {
+		rank  int
+		vtime float64
+	}
+	var deaths []death
+	cfg := testConfig(P)
+	cfg.OnFailure = func(rank int, vtime float64) {
+		mu.Lock()
+		deaths = append(deaths, death{rank, vtime})
+		mu.Unlock()
+	}
+	w := NewWorld(cfg)
+	for r := 0; r < P; r++ {
+		w.Spawn(r, 0, func(c *Comm) error {
+			if c.Rank() == victim {
+				c.AdvanceClock(2.5)
+				return c.Die()
+			}
+			_, err := c.AllreduceScalar(1, OpSum)
+			return err
+		})
+	}
+	w.Wait()
+	if len(deaths) != 1 {
+		t.Fatalf("OnFailure fired %d times, want 1", len(deaths))
+	}
+	if deaths[0].rank != victim || deaths[0].vtime != 2.5 {
+		t.Fatalf("OnFailure got rank %d at t=%v, want rank %d at t=2.5", deaths[0].rank, deaths[0].vtime, victim)
+	}
+	// World.Kill is external: its caller already knows, so no callback.
+	w2 := NewWorld(cfg)
+	deaths = nil
+	w2.Kill(0)
+	if len(deaths) != 0 {
+		t.Fatalf("OnFailure fired for World.Kill")
+	}
+}

@@ -1,0 +1,109 @@
+package comm
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestLedgerConcurrentWorlds drives one Ledger from many concurrently
+// executing worlds — the exact shape the campaign engine and solve
+// service produce — while a reader goroutine takes snapshots throughout.
+// It pins (a) that final totals are exact (no lost updates across worlds
+// and ranks), and (b) that every mid-flight snapshot is internally
+// consistent: ranks never exceeds what the observed worlds could have
+// produced, and rank-seconds never exceeds ranks × peak clock. Run it
+// under -race to make the mutex discipline load-bearing.
+func TestLedgerConcurrentWorlds(t *testing.T) {
+	const (
+		worlds  = 24
+		ranks   = 4
+		sendsPT = 5 // sends per non-root rank
+	)
+	ledger := &Ledger{}
+
+	done := make(chan struct{})
+	readerExit := make(chan string, 1)
+	go func() {
+		for i := 0; ; i++ {
+			snap := ledger.Snapshot()
+			if snap.Ranks > snap.Worlds*ranks {
+				readerExit <- "snapshot ranks exceed worlds*ranks"
+				return
+			}
+			if snap.RankSeconds < 0 || (snap.Ranks > 0 && snap.RankSeconds > float64(snap.Ranks)*snap.MaxClock+1e-9) {
+				readerExit <- "snapshot rank-seconds exceed ranks*maxclock"
+				return
+			}
+			select {
+			case <-done:
+				readerExit <- ""
+				return
+			default:
+			}
+			if i%64 == 0 {
+				runtime.Gosched() // don't starve rank goroutines on small runners
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for wid := 0; wid < worlds; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			err := Run(Config{
+				Ranks:  ranks,
+				Cost:   machine.DefaultCostModel(),
+				Seed:   uint64(1000 + wid),
+				Ledger: ledger,
+			}, func(c *Comm) error {
+				if c.Rank() == 0 {
+					for i := 0; i < sendsPT; i++ {
+						for src := 1; src < ranks; src++ {
+							if _, err := c.Recv(src, 0); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				}
+				buf := []float64{float64(c.Rank())}
+				for i := 0; i < sendsPT; i++ {
+					if err := c.Send(0, 0, buf); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Errorf("world %d: %v", wid, err)
+			}
+		}(wid)
+	}
+	wg.Wait()
+	close(done)
+	if msg := <-readerExit; msg != "" {
+		t.Fatalf("inconsistent snapshot: %s", msg)
+	}
+
+	final := ledger.Snapshot()
+	if final.Worlds != worlds {
+		t.Errorf("Worlds = %d, want %d", final.Worlds, worlds)
+	}
+	if final.Ranks != worlds*ranks {
+		t.Errorf("Ranks = %d, want %d", final.Ranks, worlds*ranks)
+	}
+	wantSends := worlds * (ranks - 1) * sendsPT
+	if final.Stats.Sends != wantSends {
+		t.Errorf("Sends = %d, want %d", final.Stats.Sends, wantSends)
+	}
+	if final.Stats.Recvs != wantSends {
+		t.Errorf("Recvs = %d, want %d", final.Stats.Recvs, wantSends)
+	}
+	if final.MaxClock <= 0 || final.RankSeconds <= 0 {
+		t.Errorf("clock totals not populated: max %v, rank-seconds %v", final.MaxClock, final.RankSeconds)
+	}
+}

@@ -49,6 +49,15 @@ type Config struct {
 	Noise  machine.Noise     // per-compute-phase jitter model; nil = none
 	Seed   uint64            // master seed; per-rank RNGs derive from it
 	Ledger *Ledger           // optional cross-world activity aggregation
+
+	// OnFailure, if non-nil, is called when a rank dies cooperatively via
+	// (*Comm).Die, with the dying rank and its virtual clock at the moment
+	// of death. It runs on the dying rank's goroutine, before the failure
+	// becomes visible to survivors and outside all world locks, so the
+	// callback may not call back into the world. Telemetry (the run
+	// tracer's rank_kill events) hangs off this hook; it does not fire for
+	// the asynchronous World.Kill, whose caller already knows the kill.
+	OnFailure func(rank int, vtime float64)
 }
 
 // World is a set of simulated ranks plus the shared machinery they
@@ -72,11 +81,12 @@ type World struct {
 	pool     bufPool // recycled payload buffers (guarded by mu)
 	slotPool []*collSlot
 
-	ledger  *Ledger
-	seedRNG *machine.RNG
-	wg      sync.WaitGroup
-	errsMu  sync.Mutex
-	errs    map[int]error // exit error per rank (most recent run)
+	ledger    *Ledger
+	onFailure func(rank int, vtime float64)
+	seedRNG   *machine.RNG
+	wg        sync.WaitGroup
+	errsMu    sync.Mutex
+	errs      map[int]error // exit error per rank (most recent run)
 }
 
 type collKey struct {
@@ -93,15 +103,16 @@ func NewWorld(cfg Config) *World {
 		cfg.Noise = machine.NoNoise{}
 	}
 	w := &World{
-		n:       cfg.Ranks,
-		cost:    cfg.Cost,
-		noise:   cfg.Noise,
-		failed:  make([]bool, cfg.Ranks),
-		queues:  make([]msgQueue, cfg.Ranks),
-		colls:   make(map[collKey]*collSlot),
-		ledger:  cfg.Ledger,
-		seedRNG: machine.NewRNG(cfg.Seed ^ 0xda3e39cb94b95bdb),
-		errs:    make(map[int]error),
+		n:         cfg.Ranks,
+		cost:      cfg.Cost,
+		noise:     cfg.Noise,
+		failed:    make([]bool, cfg.Ranks),
+		queues:    make([]msgQueue, cfg.Ranks),
+		colls:     make(map[collKey]*collSlot),
+		ledger:    cfg.Ledger,
+		onFailure: cfg.OnFailure,
+		seedRNG:   machine.NewRNG(cfg.Seed ^ 0xda3e39cb94b95bdb),
+		errs:      make(map[int]error),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	if w.ledger != nil {

@@ -1,0 +1,34 @@
+package krylov
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestChainHooks(t *testing.T) {
+	if ChainHooks() != nil || ChainHooks(nil, nil) != nil {
+		t.Fatal("chaining no live hooks must return nil to keep the fast path")
+	}
+	var calls []string
+	mk := func(name string, fail error) IterationHook {
+		return func(iter int, relres float64) error {
+			calls = append(calls, name)
+			return fail
+		}
+	}
+	// Single live hook is returned as-is (no wrapper layer).
+	h := ChainHooks(nil, mk("only", nil), nil)
+	if err := h(1, 0.5); err != nil || len(calls) != 1 {
+		t.Fatalf("single-hook chain: err %v, calls %v", err, calls)
+	}
+	// Multiple hooks run in order; the first error stops the chain.
+	calls = nil
+	boom := errors.New("boom")
+	h = ChainHooks(mk("a", nil), mk("b", boom), mk("c", nil))
+	if err := h(2, 0.25); !errors.Is(err, boom) {
+		t.Fatalf("chain error = %v, want boom", err)
+	}
+	if len(calls) != 2 || calls[0] != "a" || calls[1] != "b" {
+		t.Fatalf("calls = %v, want [a b]", calls)
+	}
+}

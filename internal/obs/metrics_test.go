@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("repro_test_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Get-or-create: same (name, labels) returns the same counter.
+	if again := r.Counter("repro_test_total", ""); again != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	g := r.Gauge("repro_test_gauge", "test gauge")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "", LatencyBuckets())
+	r.CounterFunc("x", "", func() float64 { return 1 })
+	r.GaugeFunc("x", "", func() float64 { return 1 })
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil metrics must read as zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+// TestHistogramBucketEdges pins the le semantics: an observation equal to
+// a bucket's upper bound lands in that bucket (cumulative counts include
+// it), and values past the last bound land only in +Inf.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("repro_lat_seconds", "latency", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.1, 0.5, 1, 0.05, 0.3, 2} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ParseText([]byte(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		`repro_lat_seconds_bucket{le="0.1"}`:  2, // 0.05, 0.1 — boundary value included
+		`repro_lat_seconds_bucket{le="0.5"}`:  4, // + 0.3, 0.5
+		`repro_lat_seconds_bucket{le="1"}`:    5, // + 1
+		`repro_lat_seconds_bucket{le="+Inf"}`: 6, // + 2
+		`repro_lat_seconds_count`:             6,
+	}
+	for k, v := range want {
+		if got, ok := series[k]; !ok || got != v {
+			t.Errorf("%s = %v (present=%v), want %v\nexposition:\n%s", k, got, ok, v, b.String())
+		}
+	}
+	wantSum := 0.1 + 0.5 + 1 + 0.05 + 0.3 + 2
+	if got := series[`repro_lat_seconds_sum`]; got != wantSum {
+		t.Errorf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestExpositionEscaping pins label-value and help escaping: backslash,
+// double quote and newline must be escaped per the text format.
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("repro_esc_total", "help with \\ and\nnewline",
+		Label{Key: "path", Value: `a"b\c` + "\nend"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantHelp := `# HELP repro_esc_total help with \\ and\nnewline`
+	wantSeries := `repro_esc_total{path="a\"b\\c\nend"} 1`
+	if !strings.Contains(out, wantHelp) {
+		t.Errorf("missing escaped HELP line %q in:\n%s", wantHelp, out)
+	}
+	if !strings.Contains(out, wantSeries) {
+		t.Errorf("missing escaped series line %q in:\n%s", wantSeries, out)
+	}
+}
+
+// TestExpositionDeterministic pins that two scrapes of identical state
+// are byte-identical: families sorted by name, series by labels.
+func TestExpositionDeterministic(t *testing.T) {
+	mk := func(order []string) string {
+		r := NewRegistry()
+		for _, ep := range order {
+			r.Counter("repro_http_requests_total", "requests", Label{Key: "endpoint", Value: ep}).Inc()
+		}
+		r.Gauge("repro_depth", "depth").Set(2)
+		r.Histogram("repro_wait_seconds", "wait", []float64{1}).Observe(0.5)
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := mk([]string{"solve", "stats", "campaign"})
+	c := mk([]string{"campaign", "solve", "stats"})
+	if a != c {
+		t.Fatalf("exposition depends on registration order:\n--- a ---\n%s--- b ---\n%s", a, c)
+	}
+}
+
+func TestFuncMetricsSampleAtExposition(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.CounterFunc("repro_live_total", "live", func() float64 { return n })
+	scrape := func() map[string]float64 {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ParseText([]byte(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if got := scrape()["repro_live_total"]; got != 0 {
+		t.Fatalf("initial sample = %v, want 0", got)
+	}
+	n = 7
+	if got := scrape()["repro_live_total"]; got != 7 {
+		t.Fatalf("sample after update = %v, want 7", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("repro_conc_seconds", "conc", LatencyBuckets())
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("repro_conc_total", "conc")
+			g := r.Gauge("repro_conc_gauge", "conc")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%13) / 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("repro_conc_total", "").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("repro_conc_gauge", "").Value(); got != workers*per {
+		t.Fatalf("gauge = %v, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	if _, err := ParseText([]byte("no_value_here\n")); err == nil {
+		t.Fatalf("want error for line without a value")
+	}
+	if _, err := ParseText([]byte("repro_x notanumber\n")); err == nil {
+		t.Fatalf("want error for non-numeric value")
+	}
+	m, err := ParseText([]byte("# comment\n\nrepro_x 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["repro_x"] != 3 {
+		t.Fatalf("repro_x = %v, want 3", m["repro_x"])
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("repro_kind", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("repro_kind", "")
+}

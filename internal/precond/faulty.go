@@ -15,6 +15,11 @@ import "repro/internal/fault"
 type Faulty struct {
 	Inner    Preconditioner
 	Injector *fault.VectorInjector
+
+	// OnInject, when non-nil, fires after each application that actually
+	// corrupted the output, with the number of flips delivered in that
+	// pass — the trace hook for preconditioner-side fault injection.
+	OnInject func(faults int)
 }
 
 // Setup implements Preconditioner: the factorisation itself is assumed
@@ -31,7 +36,9 @@ func (f *Faulty) ApplyInto(r, z []float64) error {
 	if err := f.Inner.ApplyInto(r, z); err != nil {
 		return err
 	}
-	f.Injector.Pass(z)
+	if n := f.Injector.Pass(z); n > 0 && f.OnInject != nil {
+		f.OnInject(n)
+	}
 	return nil
 }
 

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// initMetrics builds the server's metric surface over one obs.Registry.
+// Everything /stats reports is either exposed directly (request and
+// trace counters live in obs and are read back by /stats) or bridged
+// with CounterFunc/GaugeFunc sampling the authoritative state at scrape
+// time — so /metrics and /stats can never disagree: both read the same
+// counters, never copies.
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	s.registry = r
+
+	s.queueWait = r.Histogram("repro_run_queue_wait_seconds",
+		"Wall-clock seconds a run waited in the pool queue before a worker picked it up.",
+		obs.LatencyBuckets())
+	s.execSec = r.Histogram("repro_run_execute_seconds",
+		"Wall-clock seconds a run spent executing on a worker.",
+		obs.LatencyBuckets())
+	s.traceErrors = r.Counter("repro_trace_write_errors_total",
+		"Run traces that could not be persisted to the trace directory.")
+
+	r.GaugeFunc("repro_pool_workers",
+		"Fixed worker count of the solve pool.",
+		func() float64 { return float64(s.workers) })
+	r.GaugeFunc("repro_pool_queue_depth",
+		"Runs currently queued and waiting for a worker.",
+		func() float64 { return float64(s.pool.depth()) })
+	r.GaugeFunc("repro_pool_in_flight",
+		"Runs currently executing on workers.",
+		func() float64 { return float64(s.pool.running()) })
+	r.GaugeFunc("repro_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	// The run counters live under s.mu; sampling them at exposition
+	// time keeps /metrics exactly equal to /stats at every scrape.
+	sample := func(p *int64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(*p)
+		}
+	}
+	r.CounterFunc("repro_runs_received_total",
+		"Runs accepted for execution.", sample(&s.received))
+	r.CounterFunc("repro_runs_completed_total",
+		"Runs finished (converged or not).", sample(&s.completed))
+	r.CounterFunc("repro_runs_errored_total",
+		"Completed runs whose record carries a harness error.", sample(&s.errored))
+	r.CounterFunc("repro_runs_rejected_total",
+		"Runs refused by a full queue (503 backpressure).", sample(&s.rejected))
+
+	cacheStat := func(pick func(CacheStats) int64) func() float64 {
+		return func() float64 { return float64(pick(s.cache.Stats())) }
+	}
+	r.CounterFunc("repro_problem_cache_hits_total",
+		"Problem assemblies served from the cache.",
+		cacheStat(func(cs CacheStats) int64 { return cs.ProblemHits }))
+	r.CounterFunc("repro_problem_cache_misses_total",
+		"Problem assemblies built fresh.",
+		cacheStat(func(cs CacheStats) int64 { return cs.ProblemMisses }))
+	r.CounterFunc("repro_setup_cache_hits_total",
+		"Preconditioner setups adopted from the cache.",
+		cacheStat(func(cs CacheStats) int64 { return cs.SetupHits }))
+	r.CounterFunc("repro_setup_cache_misses_total",
+		"Preconditioner setups factorised fresh.",
+		cacheStat(func(cs CacheStats) int64 { return cs.SetupMisses }))
+}
+
+// route registers one endpoint on the mux behind a request counter, so
+// repro_http_requests_total{endpoint="..."} counts every request the
+// handler sees (including rejected ones) and /stats mirrors the same
+// counters in its endpoints map.
+func (s *Server) route(pattern, endpoint string, h http.HandlerFunc) {
+	c := s.registry.Counter("repro_http_requests_total",
+		"HTTP requests received, by endpoint.",
+		obs.Label{Key: "endpoint", Value: endpoint})
+	s.endpoints[endpoint] = c
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h(w, r)
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition
+// format — the canonical scrape surface (GET /stats carries the same
+// counters as JSON for humans and the client).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.registry.WritePrometheus(w)
+}

@@ -139,6 +139,17 @@ type ProgressEvent struct {
 	Relres float64 `json:"relres"`
 }
 
+// DiscardEvent is the payload of one "discard" SSE event: the inner
+// sanitisation consensus of an ftgmres solve rejected one unreliable
+// inner solve's result.
+type DiscardEvent struct {
+	// Attempt is the global-restart attempt the discard happened in.
+	Attempt int `json:"attempt"`
+	// Solve is the ordinal of the discarded inner solve (1-based, as
+	// counted by the inner preconditioner across the attempt).
+	Solve int `json:"solve"`
+}
+
 // CampaignRequest is the body of POST /v1/campaign: a whole campaign
 // spec to execute server-side. The response streams one NDJSON
 // campaign.Record line per completed run (completion order — arbitrary)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // Options configures a Server.
@@ -18,18 +19,34 @@ type Options struct {
 	// Queue is the pending-solve queue depth (default 4×Workers). A
 	// full queue rejects new work with 503.
 	Queue int
+	// TraceDir, when non-empty, records every executed run's event
+	// timeline (repro-trace/v1, see internal/obs) and writes it to
+	// TraceDir as one JSONL file per run, exactly like the local
+	// campaign engine's TraceDir. Reruns of a run key overwrite its
+	// file — runs are deterministic, so the bytes are identical anyway.
+	TraceDir string
 }
 
 // Server is the solve service: an http.Handler exposing the
 // repro-solve/v1 endpoints over a shared worker pool and setup cache.
 // Create one with New, mount Handler somewhere, and Close it to drain.
 type Server struct {
-	workers int
-	queue   int
-	pool    *pool
-	cache   *Cache
-	mux     *http.ServeMux
-	start   time.Time
+	workers  int
+	queue    int
+	traceDir string
+	pool     *pool
+	cache    *Cache
+	mux      *http.ServeMux
+	start    time.Time
+
+	// The metric surface (see metrics.go): endpoint request counters,
+	// queue-wait/execute latency histograms, and bridges sampling the
+	// mu-guarded counters below at scrape time.
+	registry    *obs.Registry
+	endpoints   map[string]*obs.Counter
+	queueWait   *obs.Histogram
+	execSec     *obs.Histogram
+	traceErrors *obs.Counter
 
 	mu        sync.Mutex
 	received  int64
@@ -50,16 +67,20 @@ func New(opts Options) *Server {
 	s := &Server{
 		workers:   opts.Workers,
 		queue:     opts.Queue,
+		traceDir:  opts.TraceDir,
 		pool:      newPool(opts.Workers, opts.Queue),
 		cache:     NewCache(),
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
+		endpoints: make(map[string]*obs.Counter),
 		perSolver: make(map[string]int64),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	s.initMetrics()
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /stats", "stats", s.handleStats)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	s.route("POST /v1/solve", "solve", s.handleSolve)
+	s.route("POST /v1/campaign", "campaign", s.handleCampaign)
 	return s
 }
 
@@ -82,7 +103,9 @@ type HealthzResponse struct {
 	OK bool `json:"ok"`
 }
 
-// StatsResponse is the body of GET /stats.
+// StatsResponse is the body of GET /stats — the same counters
+// GET /metrics exposes in Prometheus text format (the canonical scrape
+// surface), as one JSON object for humans and the typed Client.
 type StatsResponse struct {
 	// Schema is "repro-solve/v1".
 	Schema string `json:"schema"`
@@ -102,6 +125,9 @@ type StatsResponse struct {
 	Rejected  int64 `json:"rejected"`
 	// PerSolver counts completed runs by solver axis value.
 	PerSolver map[string]int64 `json:"per_solver"`
+	// Endpoints counts HTTP requests received, by endpoint name —
+	// the same counters repro_http_requests_total exposes on /metrics.
+	Endpoints map[string]int64 `json:"endpoints"`
 	// Cache carries the setup cache's hit/miss counters.
 	Cache CacheStats `json:"cache"`
 }
@@ -128,15 +154,32 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.PerSolver[k] = v
 	}
 	s.mu.Unlock()
+	resp.Endpoints = make(map[string]int64, len(s.endpoints))
+	for name, c := range s.endpoints {
+		resp.Endpoints[name] = c.Value()
+	}
 	resp.Cache = s.cache.Stats()
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // execute runs one request's solve on the calling goroutine (a pool
-// worker) and updates the counters.
-func (s *Server) execute(req *SolveRequest, progress func(attempt, iter int, relres float64)) campaign.Record {
+// worker) and updates the counters. The optional sinks receive rank
+// 0's per-iteration progress and inner-discard events; when the server
+// has a trace directory, the run's timeline is recorded and persisted
+// alongside.
+func (s *Server) execute(req *SolveRequest, progress func(attempt, iter int, relres float64), discard func(attempt, solve int)) campaign.Record {
 	spec, cell := req.SpecCell()
-	rec := campaign.ExecuteRunEnv(&spec, cell, req.Rep, s.cache.Env(progress))
+	env := s.cache.Env(progress)
+	env.Discards = discard
+	if s.traceDir != "" {
+		env.Tracer = campaign.NewRunTracer(&spec, cell, req.Rep)
+	}
+	rec := campaign.ExecuteRunEnv(&spec, cell, req.Rep, env)
+	if _, err := campaign.WriteRunTrace(s.traceDir, env.Tracer, false); err != nil {
+		// A failed trace write must not fail the solve: the record is
+		// sound. It is counted, so a scrape surfaces the data loss.
+		s.traceErrors.Inc()
+	}
 	s.mu.Lock()
 	s.completed++
 	s.perSolver[req.Solver]++
@@ -147,14 +190,26 @@ func (s *Server) execute(req *SolveRequest, progress func(attempt, iter int, rel
 	return rec
 }
 
+// job wraps one request into a pool job that times its queue wait and
+// execution (the two latency histograms on /metrics) and delivers the
+// record on done.
+func (s *Server) job(req *SolveRequest, progress func(attempt, iter int, relres float64), discard func(attempt, solve int), done chan<- campaign.Record) func() {
+	enqueued := time.Now()
+	return func() {
+		started := time.Now()
+		s.queueWait.Observe(started.Sub(enqueued).Seconds())
+		rec := s.execute(req, progress, discard)
+		s.execSec.Observe(time.Since(started).Seconds())
+		done <- rec
+	}
+}
+
 // schedule submits one request to the pool; the returned channel
 // yields the record when the run completes. ok is false when the queue
 // is full.
-func (s *Server) schedule(req *SolveRequest, progress func(attempt, iter int, relres float64)) (<-chan campaign.Record, bool) {
+func (s *Server) schedule(req *SolveRequest, progress func(attempt, iter int, relres float64), discard func(attempt, solve int)) (<-chan campaign.Record, bool) {
 	done := make(chan campaign.Record, 1)
-	accepted := s.pool.submit(func() {
-		done <- s.execute(req, progress)
-	})
+	accepted := s.pool.submit(s.job(req, progress, discard, done))
 	s.account(accepted)
 	if !accepted {
 		return nil, false
@@ -168,9 +223,7 @@ func (s *Server) schedule(req *SolveRequest, progress func(attempt, iter int, re
 // same received/rejected accounting as schedule, so /stats never
 // undercounts refusals.
 func (s *Server) scheduleWait(req *SolveRequest, deliver chan<- campaign.Record) bool {
-	accepted := s.pool.submitWait(func() {
-		deliver <- s.execute(req, nil)
-	}, s.queue/2)
+	accepted := s.pool.submitWait(s.job(req, nil, nil, deliver), s.queue/2)
 	s.account(accepted)
 	return accepted
 }
@@ -227,7 +280,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.streamSolve(r.Context(), w, &req)
 		return
 	}
-	done, ok := s.schedule(&req, nil)
+	done, ok := s.schedule(&req, nil, nil)
 	if !ok {
 		writeError(w, http.StatusServiceUnavailable, "queue full, retry later")
 		return

@@ -24,30 +24,44 @@ func writeSSE(w http.ResponseWriter, fl http.Flusher, event string, v any) {
 	fl.Flush()
 }
 
+// sseFrame is one pending Server-Sent Event: its event name and JSON
+// payload.
+type sseFrame struct {
+	event string
+	v     any
+}
+
 // streamSolve answers a Stream=true solve request with Server-Sent
 // Events: one "progress" event per solver iteration observed on rank 0
-// (with its global-restart attempt and relative residual) and a final
-// "result" event carrying the SolveResponse. Events for one attempt
-// arrive in iteration order; a consumer slower than the solver may
-// lose intermediate progress events (never the result). A client that
-// disconnects stops the event writer; the solve itself finishes in the
-// background (a world cannot be cancelled mid-solve) and still counts
-// in /stats.
+// (with its global-restart attempt and relative residual), one
+// "discard" event per inner solve the sanitisation consensus rejected
+// (ftgmres cells only), and a final "result" event carrying the
+// SolveResponse. Events for one attempt arrive in iteration order; a
+// consumer slower than the solver may lose intermediate events (never
+// the result). A client that disconnects stops the event writer; the
+// solve itself finishes in the background (a world cannot be cancelled
+// mid-solve) and still counts in /stats.
 func (s *Server) streamSolve(ctx context.Context, w http.ResponseWriter, req *SolveRequest) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
 		return
 	}
-	events := make(chan ProgressEvent, progressBuffer)
-	progress := func(attempt, iter int, relres float64) {
+	events := make(chan sseFrame, progressBuffer)
+	emit := func(f sseFrame) {
 		select {
-		case events <- ProgressEvent{Attempt: attempt, Iter: iter, Relres: relres}:
+		case events <- f:
 		default:
 			// Slow consumer: drop the event rather than stall the solve.
 		}
 	}
-	done, ok := s.schedule(req, progress)
+	progress := func(attempt, iter int, relres float64) {
+		emit(sseFrame{"progress", ProgressEvent{Attempt: attempt, Iter: iter, Relres: relres}})
+	}
+	discard := func(attempt, solve int) {
+		emit(sseFrame{"discard", DiscardEvent{Attempt: attempt, Solve: solve}})
+	}
+	done, ok := s.schedule(req, progress, discard)
 	if !ok {
 		writeError(w, http.StatusServiceUnavailable, "queue full, retry later")
 		return
@@ -61,8 +75,8 @@ func (s *Server) streamSolve(ctx context.Context, w http.ResponseWriter, req *So
 wait:
 	for {
 		select {
-		case ev := <-events:
-			writeSSE(w, fl, "progress", ev)
+		case f := <-events:
+			writeSSE(w, fl, f.event, f.v)
 		case rec = <-done:
 			break wait
 		case <-ctx.Done():
@@ -70,12 +84,12 @@ wait:
 			return
 		}
 	}
-	// The solve has finished, so no further progress events can be
-	// produced; drain what is already queued, then emit the result.
+	// The solve has finished, so no further events can be produced;
+	// drain what is already queued, then emit the result.
 	for {
 		select {
-		case ev := <-events:
-			writeSSE(w, fl, "progress", ev)
+		case f := <-events:
+			writeSSE(w, fl, f.event, f.v)
 		default:
 			writeSSE(w, fl, "result", SolveResponse{Schema: Schema, Record: rec})
 			return

@@ -17,6 +17,12 @@ import (
 type FaultyDistOp struct {
 	Inner    dist.Operator
 	Injector *fault.VectorInjector
+
+	// OnInject, when non-nil, fires after each Apply that actually
+	// corrupted the output, with the number of flips delivered in that
+	// pass. It runs on the rank whose injector fired (fault patterns are
+	// per-rank), which is how run traces attribute injections to ranks.
+	OnInject func(faults int)
 }
 
 // Apply implements dist.Operator.
@@ -24,7 +30,9 @@ func (f *FaultyDistOp) Apply(x, y []float64) error {
 	if err := f.Inner.Apply(x, y); err != nil {
 		return err
 	}
-	f.Injector.Pass(y)
+	if n := f.Injector.Pass(y); n > 0 && f.OnInject != nil {
+		f.OnInject(n)
+	}
 	return nil
 }
 
@@ -55,6 +63,11 @@ type DistInner struct {
 
 	Solves   int
 	Discards int
+
+	// OnDiscard, when non-nil, fires on each discard with the ordinal of
+	// the inner solve whose result was rejected. The discard decision is
+	// a global consensus, so every rank fires it in the same solves.
+	OnDiscard func(solve int)
 }
 
 // ApplyInto implements krylov.DistPreconditioner: one fixed-budget
@@ -87,6 +100,9 @@ func (s *DistInner) ApplyInto(r, z []float64) error {
 	}
 	if agg[0] > 0 || (agg[2] > 0 && (agg[1] == 0 || agg[1] > 1e16*agg[2])) {
 		s.Discards++
+		if s.OnDiscard != nil {
+			s.OnDiscard(s.Solves)
+		}
 		copy(z, r)
 		return nil
 	}
@@ -147,11 +163,15 @@ func DistFTGMRES(c *comm.Comm, trusted, faulty dist.Operator, b []float64, opts 
 // correctness.
 func DistFTGMRESPreconditioned(c *comm.Comm, trusted, faulty dist.Operator, innerM krylov.DistPreconditioner, b []float64, opts Options) (DistFTGMRESResult, error) {
 	opts.defaults()
-	inner := &DistInner{C: c, Faulty: faulty, Iters: opts.InnerIters, Restart: opts.InnerIters, Precon: innerM}
+	inner := &DistInner{
+		C: c, Faulty: faulty, Iters: opts.InnerIters, Restart: opts.InnerIters,
+		Precon: innerM, OnDiscard: opts.OnDiscard,
+	}
 	x, st, err := krylov.DistFGMRES(c, trusted, inner, b, nil, krylov.DistGMRESOptions{
 		Restart: opts.OuterRestart,
 		Tol:     opts.Tol,
 		MaxIter: opts.MaxOuter,
+		Hook:    opts.Hook,
 	})
 	return DistFTGMRESResult{X: x, Stats: st, InnerSolves: inner.Solves, InnerDiscards: inner.Discards}, err
 }

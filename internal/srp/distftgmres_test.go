@@ -174,3 +174,94 @@ func TestFaultyDistOpPreservesMetadata(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDistFTGMRESHooks pins the srp.Options observability surface: the
+// outer-iteration Hook fires on every rank with increasing iteration
+// numbers and a final residual at or below the solver's reported one,
+// and OnDiscard fires identically on every rank when the inner stack is
+// corrupted hard enough to force discards.
+func TestDistFTGMRESHooks(t *testing.T) {
+	const p = 4
+	a := problems.ConvDiff2D(12, 12, 20, 10)
+	bGlob, _ := problems.ManufacturedRHS(a)
+	cfg := comm.Config{Ranks: p, Cost: machine.DefaultCostModel(), Seed: 31}
+
+	type rankObs struct {
+		iters    []int
+		discards []int
+	}
+	obs := make([]rankObs, p)
+	var reportedDiscards int
+	err := comm.Run(cfg, func(c *comm.Comm) error {
+		trusted := dist.NewCSR(c, a)
+		// An absurd fault rate guarantees sanitisation rejects some inner
+		// results, so the discard path is exercised deterministically.
+		faulty := &FaultyDistOp{
+			Inner:    dist.NewCSR(c, a),
+			Injector: fault.NewVectorInjector(uint64(7000 + c.Rank())).WithRate(0.05),
+		}
+		local := trusted.Scatter(bGlob)
+		me := &obs[c.Rank()]
+		res, err := DistFTGMRES(c, trusted, faulty, local, Options{
+			InnerIters: 10, Tol: 1e-8, MaxOuter: 25, OuterRestart: 25,
+			Hook: func(iter int, relres float64) error {
+				me.iters = append(me.iters, iter)
+				return nil
+			},
+			OnDiscard: func(solve int) {
+				me.discards = append(me.discards, solve)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			reportedDiscards = res.InnerDiscards
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs[0].iters) == 0 {
+		t.Fatal("outer-iteration hook never fired")
+	}
+	for r := 0; r < p; r++ {
+		for i, it := range obs[r].iters {
+			if it != i+1 {
+				t.Fatalf("rank %d: hook iteration %d at position %d", r, it, i)
+			}
+		}
+	}
+	if reportedDiscards == 0 {
+		t.Fatal("expected discards at 5% fault rate")
+	}
+	for r := 1; r < p; r++ {
+		if len(obs[r].discards) != len(obs[0].discards) {
+			t.Fatalf("discard consensus broken: rank %d saw %d, rank 0 saw %d",
+				r, len(obs[r].discards), len(obs[0].discards))
+		}
+	}
+	if len(obs[0].discards) != reportedDiscards {
+		t.Fatalf("OnDiscard fired %d times, result reports %d", len(obs[0].discards), reportedDiscards)
+	}
+}
+
+// TestFTGMRESHookSerial checks the same Options surface on the serial
+// FTGMRES entry point.
+func TestFTGMRESHookSerial(t *testing.T) {
+	a := problems.Poisson2D(10, 10)
+	b, _ := problems.ManufacturedRHS(a)
+	var iters int
+	res, err := FTGMRES(krylov.NewCSROp(a), fault.NewVectorInjector(3).WithRate(0.05), b, Options{
+		InnerIters: 10, Tol: 1e-8, MaxOuter: 30,
+		Hook:      func(iter int, relres float64) error { iters++; return nil },
+		OnDiscard: func(solve int) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters == 0 || iters != res.Stats.Iterations {
+		t.Fatalf("hook fired %d times, stats report %d iterations", iters, res.Stats.Iterations)
+	}
+}
