@@ -1,10 +1,13 @@
-// Command campaign runs a fault-campaign sweep: it expands a scenario
-// spec into its solver × preconditioner × problem × ranks × fault-model
-// grid, executes every replicate on a worker pool, streams results to a
-// crash-safe JSONL file, and folds them into the canonical
-// CAMPAIGN_<label>.json aggregate. Run `campaign -h` for the full flag
-// set — a test pins every usage snippet in this comment, the README and
-// docs/CAMPAIGNS.md against the flags the program actually parses.
+// Command campaign runs a fault-campaign sweep and gates its claims:
+// it expands a scenario spec into its solver × preconditioner ×
+// problem × ranks × fault-model grid, executes every replicate on a
+// worker pool, streams results to a crash-safe JSONL file, folds them
+// into the canonical CAMPAIGN_<label>.json aggregate, and — with the
+// compare and report modes — regression-gates an aggregate against a
+// committed baseline and renders the paper's cross-cell comparisons.
+// Run `campaign -h` for the full flag set — a test pins every usage
+// snippet in this comment, the README and docs/CAMPAIGNS.md against
+// the flags the program actually parses.
 //
 // Common invocations:
 //
@@ -15,9 +18,12 @@
 //	campaign -spec quick -shard 1/2 -runs shard1.jsonl -no-agg       # CI fan-out, half 2
 //	campaign -aggregate-only -spec quick -label ci shard0.jsonl shard1.jsonl
 //	campaign -spec quick -label dev -trace traces -trace-chrome      # per-run event timelines
+//	campaign compare CAMPAIGN_baseline.json CAMPAIGN_ci.json         # claim gate (exit 1 on regression)
+//	campaign report -csv report.csv CAMPAIGN_ci.json                 # render the paper's comparisons (Markdown to stdout; -md FILE writes it)
 //
 // The spec is "quick", "full", or a path to a JSON Spec file (see
-// docs/CAMPAIGNS.md for the format and the JSONL/aggregate schemas).
+// docs/CAMPAIGNS.md for the format, the JSONL/aggregate schemas, the
+// compare thresholds and the report layout).
 package main
 
 import (
@@ -30,14 +36,15 @@ import (
 	"repro/internal/comm"
 )
 
-// options carries every flag campaign parses; newFlags is the single
-// source of truth the help text and the usage-snippet test derive from.
+// options carries every run-mode flag; newFlags is the single source
+// of truth the help text and the usage-snippet test derive from.
 type options struct {
 	spec    string
 	label   string
 	seed    uint64
 	shard   string
 	runs    string
+	out     string
 	resume  bool
 	workers int
 	cells   bool
@@ -48,8 +55,9 @@ type options struct {
 	chrome  bool
 }
 
-// newFlags builds the flag set. Keeping construction in one function is
-// what lets main_test.go verify that every documented invocation parses.
+// newFlags builds the run-mode flag set. Keeping construction in one
+// function is what lets main_test.go verify that every documented
+// invocation parses.
 func newFlags() (*flag.FlagSet, *options) {
 	o := &options{}
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
@@ -58,6 +66,7 @@ func newFlags() (*flag.FlagSet, *options) {
 	fs.Uint64Var(&o.seed, "seed", 0, "override the spec's campaign seed (0 keeps it)")
 	fs.StringVar(&o.shard, "shard", "0/1", "run only cells with index%n == k, as k/n")
 	fs.StringVar(&o.runs, "runs", "", "JSONL run-record path (default campaign_<label>.jsonl)")
+	fs.StringVar(&o.out, "out", "", "aggregate output path (default CAMPAIGN_<label>.json)")
 	fs.BoolVar(&o.resume, "resume", false, "keep existing records in -runs and execute only missing runs")
 	fs.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	fs.BoolVar(&o.cells, "cells", false, "list the spec's runnable grid cells and exit")
@@ -67,31 +76,162 @@ func newFlags() (*flag.FlagSet, *options) {
 	fs.StringVar(&o.trace, "trace", "", "write one repro-trace/v1 event timeline per run into this directory")
 	fs.BoolVar(&o.chrome, "trace-chrome", false, "with -trace, also write Chrome trace-event files for timeline viewers")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: campaign [flags] [jsonl files with -aggregate-only]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: campaign [flags] [jsonl files with -aggregate-only]\n")
+		fmt.Fprintf(fs.Output(), "       campaign compare [flags] BASELINE.json CURRENT.json\n")
+		fmt.Fprintf(fs.Output(), "       campaign report [flags] AGGREGATE.json\n\n")
 		fmt.Fprintf(fs.Output(), "Sweeps the solver x precond x problem x ranks x fault grid of a\n")
 		fmt.Fprintf(fs.Output(), "scenario spec, streams per-run JSONL records, and aggregates them\n")
 		fmt.Fprintf(fs.Output(), "into CAMPAIGN_<label>.json (success rates, quantiles, expected\n")
-		fmt.Fprintf(fs.Output(), "time-to-solution with bootstrap CIs).\n\n")
+		fmt.Fprintf(fs.Output(), "time-to-solution with bootstrap CIs). compare gates an aggregate\n")
+		fmt.Fprintf(fs.Output(), "against a baseline; report renders the paper's comparisons.\n\n")
+		fs.PrintDefaults()
+	}
+	return fs, o
+}
+
+// compareOptions carries the compare-mode flags.
+type compareOptions struct {
+	rate             float64
+	tts              float64
+	allowCellChanges bool
+}
+
+// newCompareFlags builds the compare flag set (see newFlags).
+func newCompareFlags() (*flag.FlagSet, *compareOptions) {
+	def := campaign.DefaultCompareThresholds()
+	o := &compareOptions{}
+	fs := flag.NewFlagSet("campaign compare", flag.ContinueOnError)
+	fs.Float64Var(&o.rate, "rate", def.RateDrop, "allowed absolute success-rate drop per cell")
+	fs.Float64Var(&o.tts, "tts", def.TTSSlack, "allowed relative upward E[TTS] CI shift before disjoint CIs regress")
+	fs.BoolVar(&o.allowCellChanges, "allow-cell-changes", def.AllowCellChanges, "treat cells removed by spec drift as notes, not regressions")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: campaign compare [flags] BASELINE.json CURRENT.json\n\n")
+		fmt.Fprintf(fs.Output(), "Gates CURRENT against BASELINE cell by cell; exits 1 when any cell's\n")
+		fmt.Fprintf(fs.Output(), "success rate drops beyond -rate, its E[TTS] bootstrap CI shifts\n")
+		fmt.Fprintf(fs.Output(), "disjointly up beyond -tts, harness errors appear, or a baseline cell\n")
+		fmt.Fprintf(fs.Output(), "vanished from the grid.\n\n")
+		fs.PrintDefaults()
+	}
+	return fs, o
+}
+
+// reportOptions carries the report-mode flags.
+type reportOptions struct {
+	md  string
+	csv string
+}
+
+// newReportFlags builds the report flag set (see newFlags).
+func newReportFlags() (*flag.FlagSet, *reportOptions) {
+	o := &reportOptions{}
+	fs := flag.NewFlagSet("campaign report", flag.ContinueOnError)
+	fs.StringVar(&o.md, "md", "", "write the Markdown report here (default stdout)")
+	fs.StringVar(&o.csv, "csv", "", "also write the per-cell CSV table here")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: campaign report [flags] AGGREGATE.json\n\n")
+		fmt.Fprintf(fs.Output(), "Renders the paper's cross-cell comparisons (ftgmres vs gmres at equal\n")
+		fmt.Fprintf(fs.Output(), "fault rate, E[TTS] vs ranks, noisy vs clean twins) as deterministic\n")
+		fmt.Fprintf(fs.Output(), "Markdown, plus the full per-cell distributions as CSV.\n\n")
 		fs.PrintDefaults()
 	}
 	return fs, o
 }
 
 func main() {
-	fs, o := newFlags()
-	fs.SetOutput(os.Stderr)
-	if err := fs.Parse(os.Args[1:]); err != nil {
-		if err == flag.ErrHelp {
-			os.Exit(0)
+	args := os.Args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "compare":
+		err = runCompare(args[1:], os.Stdout)
+	case len(args) > 0 && args[0] == "report":
+		err = runReport(args[1:], os.Stdout)
+	default:
+		fs, o := newFlags()
+		fs.SetOutput(os.Stderr)
+		if err := fs.Parse(args); err != nil {
+			if err == flag.ErrHelp {
+				os.Exit(0)
+			}
+			os.Exit(2)
 		}
-		os.Exit(2)
+		err = run(fs, o)
 	}
-	if err := run(fs, o); err != nil {
+	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
 		// Package errors already carry the "campaign: " prefix; don't
 		// double it on the way out.
 		fmt.Fprintln(os.Stderr, "campaign:", strings.TrimPrefix(err.Error(), "campaign: "))
 		os.Exit(1)
 	}
+}
+
+// runCompare is the compare mode: load both aggregates, gate, render,
+// and return a non-nil error on any regression (main exits 1).
+func runCompare(args []string, w *os.File) error {
+	fs, o := newCompareFlags()
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("compare needs exactly two aggregate files, got %d", fs.NArg())
+	}
+	base, err := campaign.ReadAggregate(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := campaign.ReadAggregate(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	th := campaign.CompareThresholds{RateDrop: o.rate, TTSSlack: o.tts, AllowCellChanges: o.allowCellChanges}
+	cmp := campaign.Compare(base, cur, th)
+	cmp.Render(w)
+	if !cmp.Ok() {
+		return fmt.Errorf("%d claim regression(s) against %s", cmp.Regressions, fs.Arg(0))
+	}
+	return nil
+}
+
+// runReport is the report mode: render one aggregate's claim report.
+func runReport(args []string, w *os.File) error {
+	fs, o := newReportFlags()
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("report needs exactly one aggregate file, got %d", fs.NArg())
+	}
+	agg, err := campaign.ReadAggregate(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep := campaign.BuildReport(agg)
+	if o.md == "" {
+		if _, err := w.Write(rep.Markdown); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(o.md, rep.Markdown, 0o644); err != nil {
+		return err
+	}
+	if o.csv != "" {
+		if err := os.WriteFile(o.csv, rep.CSV, 0o644); err != nil {
+			return err
+		}
+	}
+	if o.md != "" {
+		fmt.Fprintf(w, "report: %d cells -> %s", len(agg.Cells), o.md)
+		if o.csv != "" {
+			fmt.Fprintf(w, " + %s", o.csv)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
 }
 
 func run(fs *flag.FlagSet, o *options) error {
@@ -113,7 +253,10 @@ func run(fs *flag.FlagSet, o *options) error {
 		return nil
 	}
 
-	aggPath := "CAMPAIGN_" + o.label + ".json"
+	aggPath := o.out
+	if aggPath == "" {
+		aggPath = "CAMPAIGN_" + o.label + ".json"
+	}
 	if o.aggOnly {
 		if fs.NArg() == 0 {
 			return fmt.Errorf("-aggregate-only needs at least one JSONL file argument")

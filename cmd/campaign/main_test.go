@@ -1,18 +1,29 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/usagecheck"
 )
 
 // TestDocumentedInvocationsParse pins every campaign snippet in this
 // command's doc comment, the README and docs/CAMPAIGNS.md against the
-// real flag set, so the usage text cannot drift from the flags main
-// parses.
+// real per-mode flag sets, so the usage text cannot drift from the
+// flags main parses. Run-mode snippets key on "campaign" itself;
+// compare/report snippets key on the mode token immediately before
+// their first flag (see cmd/solverd for the same pattern).
 func TestDocumentedInvocationsParse(t *testing.T) {
+	modes := map[string]func() *flag.FlagSet{
+		"campaign": func() *flag.FlagSet { fs, _ := newFlags(); return fs },
+		"compare":  func() *flag.FlagSet { fs, _ := newCompareFlags(); return fs },
+		"report":   func() *flag.FlagSet { fs, _ := newReportFlags(); return fs },
+	}
 	sources := []string{"main.go", "../../README.md", "../../docs/CAMPAIGNS.md", "../../docs/ARCHITECTURE.md", "../../docs/OBSERVABILITY.md"}
 	seen := 0
 	for _, path := range sources {
@@ -24,12 +35,11 @@ func TestDocumentedInvocationsParse(t *testing.T) {
 			t.Fatal(err)
 		}
 		text := string(data)
-		seen += len(usagecheck.Snippets(text, "campaign"))
-		for _, p := range usagecheck.Verify(text, "campaign", func() *flag.FlagSet {
-			fs, _ := newFlags()
-			return fs
-		}) {
-			t.Errorf("%s: %s", path, p)
+		for mode, mk := range modes {
+			seen += len(usagecheck.Snippets(text, mode))
+			for _, p := range usagecheck.Verify(text, mode, mk) {
+				t.Errorf("%s: %s", path, p)
+			}
 		}
 	}
 	if seen == 0 {
@@ -43,7 +53,120 @@ func TestDefaultsAreSane(t *testing.T) {
 	if err := fs.Parse(nil); err != nil {
 		t.Fatal(err)
 	}
-	if o.spec != "quick" || o.label != "dev" || o.shard != "0/1" || o.resume || o.noAgg || o.aggOnly || o.trace != "" || o.chrome {
+	if o.spec != "quick" || o.label != "dev" || o.shard != "0/1" || o.out != "" || o.resume || o.noAgg || o.aggOnly || o.trace != "" || o.chrome {
 		t.Errorf("defaults drifted: %+v", o)
+	}
+	cfs, co := newCompareFlags()
+	if err := cfs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	def := campaign.DefaultCompareThresholds()
+	if co.rate != def.RateDrop || co.tts != def.TTSSlack || co.allowCellChanges != def.AllowCellChanges {
+		t.Errorf("compare defaults drifted from DefaultCompareThresholds: %+v vs %+v", co, def)
+	}
+	rfs, ro := newReportFlags()
+	if err := rfs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ro.md != "" || ro.csv != "" {
+		t.Errorf("report defaults drifted: %+v", ro)
+	}
+}
+
+// devNull returns an *os.File sink for command output the test does
+// not inspect.
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestCompareAgainstCommittedBaseline is the acceptance pin for the CI
+// gate: a same-seed rerun of the quick spec compares clean against the
+// committed CAMPAIGN_baseline.json (exit zero), and an injected
+// regression against the same baseline fails (exit non-zero).
+func TestCompareAgainstCommittedBaseline(t *testing.T) {
+	const baseline = "../../CAMPAIGN_baseline.json"
+	spec, err := campaign.LoadSpec("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	runs := filepath.Join(dir, "ci.jsonl")
+	if _, err := campaign.Run(campaign.Options{Spec: spec, Out: runs, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := campaign.AggregateFiles(spec, "ci", runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, "CAMPAIGN_ci.json")
+	if err := campaign.WriteAggregate(agg, cur); err != nil {
+		t.Fatal(err)
+	}
+	sink := devNull(t)
+	if err := runCompare([]string{baseline, cur}, sink); err != nil {
+		t.Fatalf("same-seed quick rerun regressed against the committed baseline: %v\n"+
+			"(if the engine's arithmetic changed on purpose, refresh the baseline — see docs/CAMPAIGNS.md)", err)
+	}
+
+	// Inject a regression: a cell that always solved now never does.
+	mutated := false
+	for i := range agg.Cells {
+		if agg.Cells[i].SuccessRate == 1 {
+			agg.Cells[i].SuccessRate = 0
+			agg.Cells[i].Successes = 0
+			agg.Cells[i].ExpectedTTS = nil
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("no fully-successful cell in the quick aggregate to regress")
+	}
+	bad := filepath.Join(dir, "CAMPAIGN_bad.json")
+	if err := campaign.WriteAggregate(agg, bad); err != nil {
+		t.Fatal(err)
+	}
+	err = runCompare([]string{baseline, bad}, sink)
+	if err == nil {
+		t.Fatal("injected regression compared clean against the baseline")
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Errorf("compare error does not mention regressions: %v", err)
+	}
+}
+
+// TestReportCLIByteDeterminism renders the committed baseline twice
+// through the report mode and requires identical bytes on disk.
+func TestReportCLIByteDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	render := func(tag string) ([]byte, []byte) {
+		md := filepath.Join(dir, tag+".md")
+		csv := filepath.Join(dir, tag+".csv")
+		if err := runReport([]string{"-md", md, "-csv", csv, "../../CAMPAIGN_baseline.json"}, devNull(t)); err != nil {
+			t.Fatal(err)
+		}
+		m, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := os.ReadFile(csv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, c
+	}
+	m1, c1 := render("a")
+	m2, c2 := render("b")
+	if !bytes.Equal(m1, m2) || !bytes.Equal(c1, c2) {
+		t.Error("report output differs across reruns")
+	}
+	if len(m1) == 0 || len(c1) == 0 {
+		t.Error("report rendered empty output")
 	}
 }

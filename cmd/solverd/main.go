@@ -34,6 +34,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -270,6 +271,7 @@ func runSubmit(args []string) error {
 type smokeOptions struct {
 	spec    string
 	label   string
+	outdir  string
 	workers int
 }
 
@@ -279,6 +281,7 @@ func newSmokeFlags() (*flag.FlagSet, *smokeOptions) {
 	fs := flag.NewFlagSet("solverd smoke", flag.ContinueOnError)
 	fs.StringVar(&o.spec, "spec", "quick", "campaign spec: quick, full, or a JSON file path")
 	fs.StringVar(&o.label, "label", "smoke", "label; names the output aggregates")
+	fs.StringVar(&o.outdir, "outdir", "", "directory for the JSONL and aggregate outputs (default cwd; created if missing)")
 	fs.IntVar(&o.workers, "workers", 0, "pool size and submit concurrency (0 = GOMAXPROCS)")
 	return fs, o
 }
@@ -297,9 +300,14 @@ func runSmoke(args []string) error {
 	if err != nil {
 		return err
 	}
+	if o.outdir != "" {
+		if err := os.MkdirAll(o.outdir, 0o755); err != nil {
+			return err
+		}
+	}
 
 	// Direct execution: the oracle.
-	directRuns := "campaign_" + o.label + "-direct.jsonl"
+	directRuns := filepath.Join(o.outdir, "campaign_"+o.label+"-direct.jsonl")
 	if _, err := campaign.Run(campaign.Options{Spec: spec, Workers: o.workers, Out: directRuns}); err != nil {
 		return err
 	}
@@ -325,7 +333,7 @@ func runSmoke(args []string) error {
 		return err
 	}
 
-	servedRuns := "campaign_" + o.label + "-served.jsonl"
+	servedRuns := filepath.Join(o.outdir, "campaign_"+o.label+"-served.jsonl")
 	st, err := campaign.Run(campaign.Options{Spec: spec, Workers: o.workers, Out: servedRuns, Exec: cl.Exec})
 	if err != nil {
 		return err
@@ -338,8 +346,8 @@ func runSmoke(args []string) error {
 		return err
 	}
 
-	directPath := "CAMPAIGN_" + o.label + "-direct.json"
-	servedPath := "CAMPAIGN_" + o.label + "-served.json"
+	directPath := filepath.Join(o.outdir, "CAMPAIGN_"+o.label+"-direct.json")
+	servedPath := filepath.Join(o.outdir, "CAMPAIGN_"+o.label+"-served.json")
 	if err := campaign.WriteAggregate(directAgg, directPath); err != nil {
 		return err
 	}

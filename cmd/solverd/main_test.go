@@ -63,7 +63,7 @@ func TestDefaultsAreSane(t *testing.T) {
 	if err := kfs.Parse(nil); err != nil {
 		t.Fatal(err)
 	}
-	if ko.spec != "quick" || ko.label != "smoke" {
+	if ko.spec != "quick" || ko.label != "smoke" || ko.outdir != "" {
 		t.Errorf("smoke defaults drifted: %+v", ko)
 	}
 }

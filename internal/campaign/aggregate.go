@@ -1,11 +1,13 @@
 package campaign
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/machine"
 )
@@ -246,17 +248,70 @@ func AggregateRecords(spec Spec, label string, recs []Record) (*Aggregate, error
 }
 
 // AggregateFiles reads one or more JSONL shard files and aggregates
-// them (see AggregateRecords).
+// them (see AggregateRecords). Unlike the lenient resume-path reader,
+// every input must actually contribute: a missing file, an empty file,
+// or a file whose lines all fail to parse as repro-campaign/v1 records
+// is reported per file and fails the aggregation — a shard artifact
+// that silently contributes nothing would otherwise surface only as a
+// confusing "runs missing" error, or worse, not at all.
 func AggregateFiles(spec Spec, label string, paths ...string) (*Aggregate, error) {
 	var recs []Record
 	for _, p := range paths {
-		r, err := ReadRecords(p)
+		r, err := ReadShardFile(p)
 		if err != nil {
 			return nil, err
 		}
 		recs = append(recs, r...)
 	}
 	return AggregateRecords(spec, label, recs)
+}
+
+// ReadShardFile reads one JSONL shard input strictly, for aggregation:
+// the file must exist and yield at least one repro-campaign/v1 record.
+// The error diagnoses what the file held instead — nothing at all,
+// unparseable lines (beyond the one torn tail a killed campaign may
+// leave), or records of a foreign schema.
+func ReadShardFile(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: shard input %s: %w", path, err)
+	}
+	var (
+		recs                 []Record
+		lines, bad, foreign  int
+		firstForeign, sample string
+	)
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		lines++
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			bad++
+			continue
+		}
+		if rec.Schema != RunSchema {
+			foreign++
+			if firstForeign == "" {
+				firstForeign = rec.Schema
+			}
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		switch {
+		case lines == 0:
+			sample = "file is empty"
+		case foreign > 0:
+			sample = fmt.Sprintf("%d line(s), none with schema %q (first foreign schema %q)", lines, RunSchema, firstForeign)
+		default:
+			sample = fmt.Sprintf("%d line(s), none parse as JSON records", lines)
+		}
+		return nil, fmt.Errorf("campaign: shard input %s holds no %s records: %s", path, RunSchema, sample)
+	}
+	return recs, nil
 }
 
 // WriteAggregate writes the canonical JSON encoding of agg to path —
@@ -275,6 +330,9 @@ func ReadAggregate(path string) (*Aggregate, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("%s: empty file, not a %s aggregate", path, AggSchema)
 	}
 	var agg Aggregate
 	if err := json.Unmarshal(data, &agg); err != nil {

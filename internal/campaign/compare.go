@@ -1,0 +1,198 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CompareThresholds configures the statistical regression gate of
+// Compare. The campaign is deterministic (a fixed seed reproduces the
+// aggregate byte-for-byte), so any delta against the baseline is a
+// real behavioral change, not sampling noise — the thresholds say how
+// much deliberate drift a PR may introduce before CI demands a
+// baseline refresh.
+type CompareThresholds struct {
+	// RateDrop is the allowed absolute drop in a cell's success rate.
+	// A drop strictly beyond it regresses; a drop exactly at the
+	// boundary passes. With the quick spec's 3 replicates the default
+	// 0.25 means flipping even one replicate from success to failure
+	// (a 1/3 drop) fails the gate.
+	RateDrop float64
+	// TTSSlack is the allowed relative upward shift of a cell's
+	// E[TTS] bootstrap CI: the cell regresses only when the current
+	// CI lies strictly above the baseline CI — the two are disjoint —
+	// by more than this fraction of the baseline's upper bound
+	// (cur.ci_lo > base.ci_hi × (1+TTSSlack)). Overlapping CIs never
+	// regress: the expected time-to-solution has not separated from
+	// the baseline's.
+	TTSSlack float64
+	// AllowCellChanges downgrades cells that vanished from the
+	// baseline grid (spec drift) from regressions to notes. Cells new
+	// in the current aggregate are always notes — they have no
+	// baseline to regress against.
+	AllowCellChanges bool
+}
+
+// DefaultCompareThresholds returns the gate CI runs: one flipped
+// replicate of the quick spec's three fails the success-rate gate, and
+// the E[TTS] CI must shift disjointly upward by more than 10% before
+// the time-to-solution gate fires.
+func DefaultCompareThresholds() CompareThresholds {
+	return CompareThresholds{RateDrop: 0.25, TTSSlack: 0.10}
+}
+
+// CellDelta is the per-cell outcome of a comparison, for the cells
+// present in both aggregates.
+type CellDelta struct {
+	Key string
+	// BaseRate and CurRate are the success rates on each side.
+	BaseRate, CurRate float64
+	// BaseTTS and CurTTS are the expected-TTS summaries (nil when the
+	// side had no successful replicate).
+	BaseTTS, CurTTS *TTS
+	// Regressions lists this cell's threshold violations, in gate
+	// order (rate, TTS, errors); empty for a passing cell.
+	Regressions []string
+}
+
+// Comparison is the result of gating a current aggregate against a
+// baseline. It is pure data; Render writes the human report and Ok is
+// the exit-code verdict.
+type Comparison struct {
+	Thresholds CompareThresholds
+	// Cells holds one delta per cell present in both aggregates, in
+	// the baseline's cell order.
+	Cells []CellDelta
+	// Added lists cell keys present only in the current aggregate,
+	// Removed those present only in the baseline — spec drift either
+	// way. Removed cells regress unless AllowCellChanges.
+	Added, Removed []string
+	// Regressions counts every threshold violation across Cells plus
+	// the removed-cell violations.
+	Regressions int
+	// Notes carries comparison-level observations that do not gate
+	// (seed or spec-name drift, added cells).
+	Notes []string
+}
+
+// Ok reports whether the gate passes: no regressions anywhere.
+func (c *Comparison) Ok() bool { return c.Regressions == 0 }
+
+// fmtTTS renders a TTS as "mean [lo, hi]" for regression messages.
+func fmtTTS(t *TTS) string {
+	if t == nil {
+		return "none"
+	}
+	return fmt.Sprintf("%.4g [%.4g, %.4g]", t.Mean, t.CILo, t.CIHi)
+}
+
+// compareCell gates one cell present on both sides.
+func compareCell(base, cur CellSummary, th CompareThresholds) CellDelta {
+	d := CellDelta{
+		Key:      base.Key,
+		BaseRate: base.SuccessRate, CurRate: cur.SuccessRate,
+		BaseTTS: base.ExpectedTTS, CurTTS: cur.ExpectedTTS,
+	}
+	if drop := base.SuccessRate - cur.SuccessRate; drop > th.RateDrop {
+		d.Regressions = append(d.Regressions,
+			fmt.Sprintf("success rate %.3f -> %.3f (drop %.3f > %.3f)",
+				base.SuccessRate, cur.SuccessRate, drop, th.RateDrop))
+	}
+	switch {
+	case base.ExpectedTTS == nil:
+		// No baseline expectation: nothing to shift from. A cell that
+		// gained successes only improved.
+	case cur.ExpectedTTS == nil:
+		// The baseline solved this cell, the current never does — the
+		// restart-until-success expectation diverged. The rate gate
+		// usually fires too, but the lost expectation is its own claim.
+		d.Regressions = append(d.Regressions,
+			fmt.Sprintf("E[TTS] %s -> none (no replicate succeeds any more)", fmtTTS(base.ExpectedTTS)))
+	case cur.ExpectedTTS.CILo > base.ExpectedTTS.CIHi*(1+th.TTSSlack):
+		d.Regressions = append(d.Regressions,
+			fmt.Sprintf("E[TTS] CI %s -> %s (disjoint above baseline by more than %.0f%%)",
+				fmtTTS(base.ExpectedTTS), fmtTTS(cur.ExpectedTTS), th.TTSSlack*100))
+	}
+	if cur.Errors > base.Errors {
+		d.Regressions = append(d.Regressions,
+			fmt.Sprintf("harness errors %d -> %d", base.Errors, cur.Errors))
+	}
+	return d
+}
+
+// Compare gates cur against base cell by cell. Cells are matched by
+// key; the spec drift cases are explicit: cells only in base are
+// regressions (the claim they gated is no longer measured) unless
+// th.AllowCellChanges, and cells only in cur are notes — new coverage
+// has no baseline to regress against. Refresh the committed baseline
+// when the grid changes deliberately (see docs/CAMPAIGNS.md).
+func Compare(base, cur *Aggregate, th CompareThresholds) *Comparison {
+	cmp := &Comparison{Thresholds: th}
+	if base.Spec.Seed != cur.Spec.Seed {
+		cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+			"campaign seeds differ (%d vs %d): deltas include sampling drift, not only code changes",
+			base.Spec.Seed, cur.Spec.Seed))
+	}
+	if base.Spec.Name != cur.Spec.Name {
+		cmp.Notes = append(cmp.Notes, fmt.Sprintf("spec names differ (%q vs %q)", base.Spec.Name, cur.Spec.Name))
+	}
+	curByKey := make(map[string]CellSummary, len(cur.Cells))
+	for _, cs := range cur.Cells {
+		curByKey[cs.Key] = cs
+	}
+	for _, bc := range base.Cells {
+		cc, ok := curByKey[bc.Key]
+		if !ok {
+			cmp.Removed = append(cmp.Removed, bc.Key)
+			continue
+		}
+		delete(curByKey, bc.Key)
+		d := compareCell(bc, cc, th)
+		cmp.Regressions += len(d.Regressions)
+		cmp.Cells = append(cmp.Cells, d)
+	}
+	for key := range curByKey {
+		cmp.Added = append(cmp.Added, key)
+	}
+	sort.Strings(cmp.Added)
+	if len(cmp.Added) > 0 {
+		cmp.Notes = append(cmp.Notes, fmt.Sprintf(
+			"%d cell(s) have no baseline (new coverage) — refresh CAMPAIGN_baseline.json to gate them", len(cmp.Added)))
+	}
+	if len(cmp.Removed) > 0 && !th.AllowCellChanges {
+		cmp.Regressions += len(cmp.Removed)
+	}
+	return cmp
+}
+
+// Render writes the comparison verdict: every regression with its
+// cell and reason, the spec-drift lists, the notes, and a one-line
+// summary. Output is deterministic — same inputs, same bytes.
+func (c *Comparison) Render(w io.Writer) {
+	for _, n := range c.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	for _, d := range c.Cells {
+		for _, r := range d.Regressions {
+			fmt.Fprintf(w, "REGRESSION %-50s %s\n", d.Key, r)
+		}
+	}
+	for _, key := range c.Removed {
+		if c.Thresholds.AllowCellChanges {
+			fmt.Fprintf(w, "note: cell removed from grid: %s\n", key)
+		} else {
+			fmt.Fprintf(w, "REGRESSION %-50s removed from grid — its claim is no longer gated (refresh the baseline if intentional)\n", key)
+		}
+	}
+	for _, key := range c.Added {
+		fmt.Fprintf(w, "note: new cell without baseline: %s\n", key)
+	}
+	verdict := "PASS"
+	if !c.Ok() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "%s: %d cells compared, %d added, %d removed, %d regression(s) (rate drop > %g, E[TTS] CI slack %g)\n",
+		verdict, len(c.Cells), len(c.Added), len(c.Removed), c.Regressions,
+		c.Thresholds.RateDrop, c.Thresholds.TTSSlack)
+}

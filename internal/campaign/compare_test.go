@@ -1,0 +1,214 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// mkAgg builds a minimal aggregate with the given cells for comparison
+// tests; the spec matters only for the seed/name drift notes.
+func mkAgg(cells ...CellSummary) *Aggregate {
+	agg := &Aggregate{Schema: AggSchema, Label: "t", Spec: Spec{Name: "t", Seed: 7}}
+	agg.Cells = append(agg.Cells, cells...)
+	return agg
+}
+
+func cell(key string, rate float64, tts *TTS) CellSummary {
+	return CellSummary{Key: key, Replicates: 3, SuccessRate: rate, ExpectedTTS: tts}
+}
+
+func regressions(c *Comparison) []string {
+	var out []string
+	for _, d := range c.Cells {
+		out = append(out, d.Regressions...)
+	}
+	return out
+}
+
+// TestCompareSuccessRateBoundary pins the gate's boundary semantics: a
+// drop exactly at the tolerance passes, any drop strictly beyond fails.
+func TestCompareSuccessRateBoundary(t *testing.T) {
+	th := CompareThresholds{RateDrop: 0.25}
+	base := mkAgg(cell("a", 1.0, nil))
+
+	atBoundary := Compare(base, mkAgg(cell("a", 0.75, nil)), th)
+	if !atBoundary.Ok() {
+		t.Errorf("drop exactly at the 0.25 tolerance regressed: %v", regressions(atBoundary))
+	}
+	beyond := Compare(base, mkAgg(cell("a", 0.74, nil)), th)
+	if beyond.Ok() {
+		t.Error("drop beyond the tolerance passed the gate")
+	}
+	if r := regressions(beyond); len(r) != 1 || !strings.Contains(r[0], "success rate") {
+		t.Errorf("want one success-rate regression, got %v", r)
+	}
+	improved := Compare(base, mkAgg(cell("a", 1.0, nil)), th)
+	if !improved.Ok() {
+		t.Errorf("equal rate regressed: %v", regressions(improved))
+	}
+	// One flipped replicate of three (1/3 drop) must fail under the
+	// default thresholds — the property the CI gate relies on.
+	oneFlip := Compare(mkAgg(cell("a", 1.0, nil)), mkAgg(cell("a", 2.0/3.0, nil)), DefaultCompareThresholds())
+	if oneFlip.Ok() {
+		t.Error("a single flipped replicate passed the default gate")
+	}
+}
+
+// TestCompareTTSCIs pins the E[TTS] gate: overlapping CIs never
+// regress; disjoint CIs regress only beyond the slack.
+func TestCompareTTSCIs(t *testing.T) {
+	base := mkAgg(cell("a", 1, &TTS{Mean: 15, CILo: 10, CIHi: 20}))
+	cases := []struct {
+		name  string
+		cur   *TTS
+		slack float64
+		ok    bool
+	}{
+		{"overlap", &TTS{Mean: 25, CILo: 19, CIHi: 30}, 0, true},
+		{"touching", &TTS{Mean: 25, CILo: 20, CIHi: 30}, 0, true},
+		{"disjoint, no slack", &TTS{Mean: 25, CILo: 21, CIHi: 30}, 0, false},
+		{"disjoint, inside slack", &TTS{Mean: 25, CILo: 21, CIHi: 30}, 0.10, true},
+		{"disjoint, beyond slack", &TTS{Mean: 26, CILo: 23, CIHi: 30}, 0.10, false},
+		{"improved", &TTS{Mean: 5, CILo: 4, CIHi: 6}, 0, true},
+	}
+	for _, tc := range cases {
+		cmp := Compare(base, mkAgg(cell("a", 1, tc.cur)), CompareThresholds{RateDrop: 1, TTSSlack: tc.slack})
+		if cmp.Ok() != tc.ok {
+			t.Errorf("%s: ok=%v, want %v (%v)", tc.name, cmp.Ok(), tc.ok, regressions(cmp))
+		}
+	}
+
+	// A cell whose expectation vanished (no replicate succeeds any
+	// more) regresses even when the rate tolerance would absorb it.
+	lost := Compare(base, mkAgg(cell("a", 0, nil)), CompareThresholds{RateDrop: 1})
+	if lost.Ok() {
+		t.Error("lost E[TTS] passed the gate")
+	}
+	// The reverse — a cell that gained an expectation — is an
+	// improvement, never a regression.
+	gained := Compare(mkAgg(cell("a", 0, nil)), base, CompareThresholds{})
+	if !gained.Ok() {
+		t.Errorf("gained E[TTS] regressed: %v", regressions(gained))
+	}
+}
+
+// TestCompareCellDrift pins the spec-drift semantics: removed cells
+// regress unless explicitly allowed, added cells are notes either way.
+func TestCompareCellDrift(t *testing.T) {
+	base := mkAgg(cell("a", 1, nil), cell("b", 1, nil))
+	cur := mkAgg(cell("a", 1, nil), cell("c", 1, nil))
+
+	cmp := Compare(base, cur, CompareThresholds{RateDrop: 1})
+	if cmp.Ok() {
+		t.Error("removed baseline cell passed the gate")
+	}
+	if len(cmp.Removed) != 1 || cmp.Removed[0] != "b" {
+		t.Errorf("Removed = %v, want [b]", cmp.Removed)
+	}
+	if len(cmp.Added) != 1 || cmp.Added[0] != "c" {
+		t.Errorf("Added = %v, want [c]", cmp.Added)
+	}
+
+	allowed := Compare(base, cur, CompareThresholds{RateDrop: 1, AllowCellChanges: true})
+	if !allowed.Ok() {
+		t.Errorf("-allow-cell-changes still regressed: removed=%v regs=%d", allowed.Removed, allowed.Regressions)
+	}
+
+	var buf bytes.Buffer
+	cmp.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "removed from grid") || !strings.Contains(out, "new cell without baseline") {
+		t.Errorf("render lacks the drift lines:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("render lacks the FAIL verdict:\n%s", out)
+	}
+}
+
+// TestCompareErrorsAppear: harness errors surfacing in a cell that had
+// none are a gate failure even when rates and TTS hold.
+func TestCompareErrorsAppear(t *testing.T) {
+	base := mkAgg(cell("a", 1, nil))
+	bad := mkAgg(cell("a", 1, nil))
+	bad.Cells[0].Errors = 2
+	if cmp := Compare(base, bad, CompareThresholds{RateDrop: 1}); cmp.Ok() {
+		t.Error("appearing harness errors passed the gate")
+	}
+}
+
+// TestCompareSeedDriftNoted: differing campaign seeds do not fail the
+// gate but must be called out — the comparison is no longer
+// deterministic-vs-deterministic.
+func TestCompareSeedDriftNoted(t *testing.T) {
+	base := mkAgg(cell("a", 1, nil))
+	cur := mkAgg(cell("a", 1, nil))
+	cur.Spec.Seed = 8
+	cmp := Compare(base, cur, CompareThresholds{})
+	if !cmp.Ok() {
+		t.Errorf("seed drift alone regressed: %v", regressions(cmp))
+	}
+	if len(cmp.Notes) == 0 || !strings.Contains(cmp.Notes[0], "seeds differ") {
+		t.Errorf("seed drift not noted: %v", cmp.Notes)
+	}
+}
+
+// TestCompareEndToEnd drives the gate the way CI does: a same-seed
+// rerun of one spec must pass, and an injected regression (a cell's
+// successes flipped to failures) must fail.
+func TestCompareEndToEnd(t *testing.T) {
+	spec := testSpec()
+	dir := t.TempDir()
+	runAgg := func(name string, mutate func([]Record) []Record) *Aggregate {
+		out := dir + "/" + name + ".jsonl"
+		if _, err := Run(Options{Spec: spec, Out: out, Workers: 2}); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadRecords(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mutate != nil {
+			recs = mutate(recs)
+		}
+		agg, err := AggregateRecords(spec, name, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+
+	base := runAgg("base", nil)
+	rerun := runAgg("rerun", nil)
+	if cmp := Compare(base, rerun, DefaultCompareThresholds()); !cmp.Ok() {
+		var buf bytes.Buffer
+		cmp.Render(&buf)
+		t.Fatalf("same-seed rerun regressed:\n%s", buf.String())
+	}
+
+	// Inject: every replicate of the first converged cell fails.
+	victim := ""
+	injected := runAgg("bad", func(recs []Record) []Record {
+		for i := range recs {
+			if victim == "" && recs[i].Converged {
+				victim = recs[i].Key[:strings.LastIndex(recs[i].Key, "/r")]
+			}
+			if victim != "" && strings.HasPrefix(recs[i].Key, victim+"/r") {
+				recs[i].Converged = false
+			}
+		}
+		return recs
+	})
+	if victim == "" {
+		t.Fatal("no converged cell to inject a regression into")
+	}
+	cmp := Compare(base, injected, DefaultCompareThresholds())
+	if cmp.Ok() {
+		t.Fatal("injected regression passed the gate")
+	}
+	var buf bytes.Buffer
+	cmp.Render(&buf)
+	if !strings.Contains(buf.String(), victim) {
+		t.Errorf("verdict does not name the regressed cell %s:\n%s", victim, buf.String())
+	}
+}

@@ -1,0 +1,130 @@
+package campaign
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reportSpec is a miniature grid that still exercises every report
+// section: a gmres/ftgmres pair, two rank counts, a fault axis and a
+// noisy twin for every cell.
+func reportSpec() Spec {
+	return Spec{
+		Name:     "report-test",
+		Seed:     11,
+		Solvers:  []string{SolverGMRES, SolverFTGMRES},
+		Preconds: []string{PrecondNone},
+		Problems: []string{ProblemPoisson},
+		Ranks:    []int{2, 4},
+		Faults: []FaultSpec{
+			{Model: FaultNone},
+			{Model: FaultBitflip, Rate: 1e-3},
+		},
+		Noises:      []NoiseSpec{{}, {Model: NoiseUniform, Frac: 0.25}},
+		Replicates:  2,
+		Grid:        8,
+		Tol:         1e-6,
+		MaxIter:     300,
+		MaxRestarts: 2,
+	}
+}
+
+// runToAggregate executes the spec with the given worker count and
+// aggregates the result.
+func runToAggregate(t *testing.T, spec Spec, dir, name string, workers int) *Aggregate {
+	t.Helper()
+	out := filepath.Join(dir, name+".jsonl")
+	if _, err := Run(Options{Spec: spec, Out: out, Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := AggregateFiles(spec, "report", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// TestReportSections pins the report's content: each of the paper's
+// three comparisons renders with real rows, and the CSV carries one
+// line per cell plus the header.
+func TestReportSections(t *testing.T) {
+	spec := reportSpec()
+	agg := runToAggregate(t, spec, t.TempDir(), "r", 2)
+	rep := BuildReport(agg)
+	md := string(rep.Markdown)
+
+	for _, want := range []string{
+		"## Selective reliability: ftgmres vs gmres at equal fault rate",
+		"## E[TTS] vs ranks",
+		"## Noisy vs clean twins",
+		"bitflip@0.001",
+		"uniform@0.25",
+		"| p2 | p4 |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown lacks %q", want)
+		}
+	}
+	// Every ftgmres cell has a gmres twin in this grid: 8 pair rows
+	// (2 ranks × 2 faults × 2 noises).
+	if got := strings.Count(md, "| poisson | none |"); got != 8 {
+		t.Errorf("%d ftgmres-vs-gmres rows, want 8", got)
+	}
+
+	lines := strings.Split(strings.TrimRight(string(rep.CSV), "\n"), "\n")
+	if len(lines) != len(agg.Cells)+1 {
+		t.Errorf("CSV has %d lines, want %d cells + header", len(lines), len(agg.Cells))
+	}
+	if !strings.HasPrefix(lines[0], "key,solver,precond,") {
+		t.Errorf("CSV header drifted: %s", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != strings.Count(lines[0], ",") {
+			t.Errorf("ragged CSV row (%d vs %d columns): %s", got+1, strings.Count(lines[0], ",")+1, l)
+		}
+	}
+}
+
+// TestReportByteDeterminism pins the acceptance contract: the rendered
+// report is byte-identical across reruns and worker counts.
+func TestReportByteDeterminism(t *testing.T) {
+	spec := reportSpec()
+	dir := t.TempDir()
+	ref := BuildReport(runToAggregate(t, spec, dir, "ref", 1))
+	for _, workers := range []int{2, 4} {
+		got := BuildReport(runToAggregate(t, spec, dir, "w", workers))
+		if !bytes.Equal(ref.Markdown, got.Markdown) {
+			t.Errorf("markdown differs with %d workers", workers)
+		}
+		if !bytes.Equal(ref.CSV, got.CSV) {
+			t.Errorf("CSV differs with %d workers", workers)
+		}
+	}
+	rerun := BuildReport(runToAggregate(t, spec, dir, "rerun", 1))
+	if !bytes.Equal(ref.Markdown, rerun.Markdown) || !bytes.Equal(ref.CSV, rerun.CSV) {
+		t.Error("report differs across identical reruns")
+	}
+}
+
+// TestReportWithoutOptionalAxes: a grid with no ftgmres/gmres pairs,
+// one rank count and no noise still renders, saying so instead of
+// emitting empty tables.
+func TestReportWithoutOptionalAxes(t *testing.T) {
+	spec := reportSpec()
+	spec.Solvers = []string{SolverGMRES}
+	spec.Ranks = []int{2}
+	spec.Noises = nil
+	agg := runToAggregate(t, spec, t.TempDir(), "bare", 2)
+	md := string(BuildReport(agg).Markdown)
+	for _, want := range []string{
+		"No (ftgmres, gmres) cell pairs in this grid.",
+		"Single rank count — no scaling curve to draw.",
+		"No noise axis in this grid.",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("degenerate-grid markdown lacks %q", want)
+		}
+	}
+}

@@ -6,16 +6,20 @@ import (
 	"os"
 )
 
-// QuickSpec is the CI smoke campaign: small grid, 3 replicates, two
-// shards finish in seconds — yet it still covers 132 runnable cells
-// across 3 solvers, 4 preconditioners, 2 problems, 2 rank counts and
-// 3 fault models (clean, sustained bit flips, rank kills), enough for
-// the aggregate to show the paper's statistical separation.
+// QuickSpec is the CI smoke-and-gate campaign: small grid, 3
+// replicates, a few seconds even unsharded — yet it covers 312
+// runnable cells across 4 solvers (FT-GMRES included, so the paper's
+// selective-reliability claim is in the gated grid), 4
+// preconditioners, 2 problems, 2 rank counts, 3 fault models (clean,
+// sustained bit flips, rank kills) and a clean/noisy machine twin for
+// every cell — enough for the aggregate to show the paper's
+// statistical separation and for `campaign report` to render its
+// cross-cell comparisons.
 func QuickSpec() Spec {
 	return Spec{
 		Name:     "quick",
 		Seed:     7,
-		Solvers:  []string{SolverPCG, SolverGMRES, SolverFGMRES},
+		Solvers:  []string{SolverPCG, SolverGMRES, SolverFGMRES, SolverFTGMRES},
 		Preconds: []string{PrecondNone, PrecondJacobi, PrecondBJILU, PrecondChebyshev},
 		Problems: []string{ProblemPoisson, ProblemAniso},
 		Ranks:    []int{2, 4},
@@ -23,6 +27,10 @@ func QuickSpec() Spec {
 			{Model: FaultNone},
 			{Model: FaultBitflip, Rate: 1e-3},
 			{Model: FaultRankKill, MTBF: 300},
+		},
+		Noises: []NoiseSpec{
+			{},
+			{Model: NoiseUniform, Frac: 0.25},
 		},
 		Replicates:  3,
 		Grid:        12,
