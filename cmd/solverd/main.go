@@ -13,9 +13,12 @@
 //	solverd serve -addr :8077                                          # start the service
 //	solverd serve -addr :8077 -workers 8 -queue 64                     # sized pool
 //	solverd serve -addr :8077 -pprof -trace-dir traces                 # debug profiling + per-run traces
+//	solverd serve -addr :8077 -journal-dir journal -journal-fsync off  # durable: journal + snapshots + hot resume
+//	solverd serve -addr :8077 -journal-dir journal -snapshot-every 128 -cache-max-entries 512
 //	solverd submit -addr http://localhost:8077 -spec quick -label dev  # campaign through the service
 //	solverd submit -addr http://localhost:8077 -spec quick -shard 0/2 -runs shard0.jsonl -no-agg
 //	solverd smoke -spec quick -label ci                                # in-process served-vs-direct diff
+//	solverd smoke -spec quick -label kr -outdir out -journal-dir out/journal -kill-at run:40,stream:3,journal:80
 //
 // The spec is "quick", "full", or a path to a JSON Spec file; see
 // docs/SERVICE.md for the wire schema and docs/CAMPAIGNS.md for the
@@ -84,12 +87,16 @@ func usage(w *os.File) {
 
 // serveOptions carries the serve-mode flags.
 type serveOptions struct {
-	addr     string
-	workers  int
-	queue    int
-	drain    time.Duration
-	pprof    bool
-	traceDir string
+	addr          string
+	workers       int
+	queue         int
+	drain         time.Duration
+	pprof         bool
+	traceDir      string
+	journalDir    string
+	journalFsync  string
+	snapshotEvery int
+	cacheMax      int
 }
 
 // newServeFlags builds the serve flag set; keeping construction in one
@@ -103,7 +110,24 @@ func newServeFlags() (*flag.FlagSet, *serveOptions) {
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "shutdown drain deadline; in-flight requests past it are cut (size to your longest campaign request)")
 	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in; exposes goroutine and heap internals)")
 	fs.StringVar(&o.traceDir, "trace-dir", "", "write one repro-trace/v1 event timeline per executed run into this directory")
+	fs.StringVar(&o.journalDir, "journal-dir", "", "enable durability: keep the repro-journal/v1 run journal and repro-snapshot/v1 state snapshots in this directory, and resume from them on restart")
+	fs.StringVar(&o.journalFsync, "journal-fsync", "always", "journal fsync policy: always (every append is a durability barrier) or off (OS-paced; a crash may lose the last appends, which simply re-execute)")
+	fs.IntVar(&o.snapshotEvery, "snapshot-every", 256, "completed runs between state snapshots (each snapshot rotates the journal it captured)")
+	fs.IntVar(&o.cacheMax, "cache-max-entries", 0, "LRU bound on resident setup-cache artifacts, per-rank slots (0 = unbounded)")
 	return fs, o
+}
+
+// parseFsync maps the -journal-fsync policy name to the boolean the
+// service takes.
+func parseFsync(policy string) (bool, error) {
+	switch policy {
+	case "always":
+		return true, nil
+	case "off":
+		return false, nil
+	default:
+		return false, fmt.Errorf("-journal-fsync must be always or off, not %q", policy)
+	}
 }
 
 // withPprof mounts the net/http/pprof handlers next to the service —
@@ -126,7 +150,24 @@ func runServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := service.New(service.Options{Workers: o.workers, Queue: o.queue, TraceDir: o.traceDir})
+	fsync, err := parseFsync(o.journalFsync)
+	if err != nil {
+		return err
+	}
+	srv, err := service.New(service.Options{
+		Workers: o.workers, Queue: o.queue, TraceDir: o.traceDir,
+		JournalDir: o.journalDir, JournalFsync: fsync,
+		SnapshotEvery: o.snapshotEvery, CacheMaxEntries: o.cacheMax,
+	})
+	if err != nil {
+		return err
+	}
+	if o.journalDir != "" {
+		if stats := srv.Stats(); stats.Journal != nil {
+			fmt.Fprintf(os.Stderr, "solverd: journal %s: %d recorded runs, %d pending (sealed_tail=%v)\n",
+				o.journalDir, stats.Journal.Records, stats.Journal.Pending, stats.Journal.SealedTail)
+		}
+	}
 	handler := http.Handler(srv.Handler())
 	if o.pprof {
 		handler = withPprof(handler)
@@ -269,10 +310,12 @@ func runSubmit(args []string) error {
 
 // smokeOptions carries the smoke-mode flags.
 type smokeOptions struct {
-	spec    string
-	label   string
-	outdir  string
-	workers int
+	spec       string
+	label      string
+	outdir     string
+	workers    int
+	killAt     string
+	journalDir string
 }
 
 // newSmokeFlags builds the smoke flag set (see newServeFlags).
@@ -283,6 +326,8 @@ func newSmokeFlags() (*flag.FlagSet, *smokeOptions) {
 	fs.StringVar(&o.label, "label", "smoke", "label; names the output aggregates")
 	fs.StringVar(&o.outdir, "outdir", "", "directory for the JSONL and aggregate outputs (default cwd; created if missing)")
 	fs.IntVar(&o.workers, "workers", 0, "pool size and submit concurrency (0 = GOMAXPROCS)")
+	fs.StringVar(&o.killAt, "kill-at", "", "kill-and-replay mode: comma-separated crash points (run:N = die after the Nth journaled run, journal:N = tear the Nth run append mid-line, stream:N = die after N streamed records), each crashing and restarting the server before a final resumed pass is byte-diffed against direct execution")
+	fs.StringVar(&o.journalDir, "journal-dir", "", "journal directory for -kill-at (default <outdir>/journal-<label>)")
 	return fs, o
 }
 
@@ -305,6 +350,9 @@ func runSmoke(args []string) error {
 			return err
 		}
 	}
+	if o.killAt != "" {
+		return runKillReplay(spec, o)
+	}
 
 	// Direct execution: the oracle.
 	directRuns := filepath.Join(o.outdir, "campaign_"+o.label+"-direct.jsonl")
@@ -317,7 +365,10 @@ func runSmoke(args []string) error {
 	}
 
 	// Served execution: a real listener, a real client.
-	srv := service.New(service.Options{Workers: o.workers})
+	srv, err := service.New(service.Options{Workers: o.workers})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -427,5 +478,227 @@ func checkMetrics(base string, stats service.StatsResponse) error {
 		}
 	}
 	fmt.Printf("smoke: /metrics reconciles with /stats (%d series scraped)\n", len(series))
+	return nil
+}
+
+// killReplaySnapshotEvery is the snapshot cadence the kill-replay
+// harness runs with — small, so crash passes exercise snapshot writes
+// and journal rotation, not just raw journal replay.
+const killReplaySnapshotEvery = 16
+
+// killPoint is one parsed -kill-at crash point.
+type killPoint struct {
+	mode string // "run", "journal" or "stream"
+	n    int
+}
+
+// parseKillPoints parses the -kill-at list ("run:40,stream:3,journal:80").
+func parseKillPoints(s string) ([]killPoint, error) {
+	var kps []killPoint
+	for _, part := range strings.Split(s, ",") {
+		mode, num, ok := strings.Cut(strings.TrimSpace(part), ":")
+		var n int
+		if ok {
+			if _, err := fmt.Sscanf(num, "%d", &n); err != nil {
+				ok = false
+			}
+		}
+		if !ok || n < 1 || (mode != "run" && mode != "journal" && mode != "stream") {
+			return nil, fmt.Errorf("-kill-at: %q is not run:N, journal:N or stream:N with N >= 1", part)
+		}
+		kps = append(kps, killPoint{mode: mode, n: n})
+	}
+	return kps, nil
+}
+
+// liveServer is one in-process solverd behind a real loopback listener.
+type liveServer struct {
+	srv *service.Server
+	hs  *http.Server
+	cl  *service.Client
+}
+
+func startServer(opts service.Options) (*liveServer, error) {
+	srv, err := service.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &liveServer{srv: srv, hs: hs, cl: &service.Client{Base: "http://" + ln.Addr().String()}}, nil
+}
+
+func (ls *liveServer) stop() {
+	ls.hs.Close()
+	ls.srv.Close()
+}
+
+// crashPass drives the campaign into a durable server and crashes it at
+// the seeded kill point: the journal sink goes dead (a dead process
+// journals nothing) and the listener is severed mid-whatever-was-
+// happening. The journal directory is left exactly as a real crash
+// would leave it — possibly with a torn trailing line.
+func crashPass(spec campaign.Spec, o *smokeOptions, dir string, kp killPoint) error {
+	inner, err := service.OpenJournal(dir, false)
+	if err != nil {
+		return err
+	}
+	cs := &service.CrashSink{Inner: inner}
+	switch kp.mode {
+	case "run":
+		cs.DieAfterRun = kp.n
+	case "journal":
+		cs.TearAtRun = kp.n
+	}
+	ls, err := startServer(service.Options{
+		Workers: o.workers, JournalDir: dir, JournalSink: cs,
+		SnapshotEvery: killReplaySnapshotEvery,
+	})
+	if err != nil {
+		inner.Close()
+		return err
+	}
+	// The crash callback runs on whatever goroutine hit the kill point
+	// (possibly a pool worker mid-append), so the listener teardown is
+	// asynchronous — exactly like a process dying under the handler.
+	cs.OnCrash = func() { go ls.hs.Close() }
+
+	streamed := 0
+	serr := ls.cl.CampaignStream(service.CampaignRequest{Schema: service.Schema, Spec: spec},
+		func(rec campaign.Record) error {
+			streamed++
+			if kp.mode == "stream" && streamed == kp.n {
+				cs.Kill()
+			}
+			return nil
+		})
+	_ = serr // the severed stream is the expected outcome of a crash
+	if !cs.Crashed() {
+		ls.stop()
+		return fmt.Errorf("kill-replay: kill point %s:%d never fired (%d records streamed — is N larger than the campaign?)", kp.mode, kp.n, streamed)
+	}
+	// Reap the pool. Runs completing after the crash hit the dead sink
+	// and are journaled nowhere, exactly like work lost with a process.
+	ls.srv.Close()
+	return nil
+}
+
+// runKillReplay is the kill-and-replay determinism harness behind the
+// smoke command's -kill-at flag: run the campaign directly (the oracle),
+// then crash a durable server at each seeded kill point over one
+// shared journal directory, then restart once more and stream the full
+// campaign to completion. The resumed aggregate must be byte-identical
+// to direct execution, every journaled run must be served as a journal
+// hit, and the executed-run counter must show no recorded run was
+// re-executed.
+func runKillReplay(spec campaign.Spec, o *smokeOptions) error {
+	kps, err := parseKillPoints(o.killAt)
+	if err != nil {
+		return err
+	}
+	dir := o.journalDir
+	if dir == "" {
+		dir = filepath.Join(o.outdir, "journal-"+o.label)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	// Direct execution: the oracle.
+	directRuns := filepath.Join(o.outdir, "campaign_"+o.label+"-direct.jsonl")
+	if _, err := campaign.Run(campaign.Options{Spec: spec, Workers: o.workers, Out: directRuns}); err != nil {
+		return err
+	}
+	directAgg, err := campaign.AggregateFiles(spec, o.label, directRuns)
+	if err != nil {
+		return err
+	}
+	directPath := filepath.Join(o.outdir, "CAMPAIGN_"+o.label+"-direct.json")
+	if err := campaign.WriteAggregate(directAgg, directPath); err != nil {
+		return err
+	}
+
+	total := len(spec.ShardRuns(0, 1))
+	for i, kp := range kps {
+		fmt.Fprintf(os.Stderr, "kill-replay: crash pass %d/%d at %s:%d\n", i+1, len(kps), kp.mode, kp.n)
+		if err := crashPass(spec, o, dir, kp); err != nil {
+			return err
+		}
+	}
+
+	// The resumed final pass: a fresh server over the same journal
+	// directory, production sink, full campaign to completion.
+	ls, err := startServer(service.Options{
+		Workers: o.workers, JournalDir: dir,
+		SnapshotEvery: killReplaySnapshotEvery,
+	})
+	if err != nil {
+		return fmt.Errorf("kill-replay: restart after crashes failed: %w", err)
+	}
+	before, err := ls.cl.Stats()
+	if err != nil {
+		ls.stop()
+		return err
+	}
+	if before.Journal == nil || before.Journal.Records == 0 {
+		ls.stop()
+		return fmt.Errorf("kill-replay: restarted server loaded no journaled runs — the crash passes recorded nothing")
+	}
+	recorded := before.Journal.Records
+
+	servedRuns := filepath.Join(o.outdir, "campaign_"+o.label+"-served.jsonl")
+	w, err := campaign.NewWriter(servedRuns, false)
+	if err != nil {
+		ls.stop()
+		return err
+	}
+	serr := ls.cl.CampaignStream(service.CampaignRequest{Schema: service.Schema, Spec: spec},
+		func(rec campaign.Record) error { return w.Write(rec) })
+	w.Close()
+	after, aerr := ls.cl.Stats()
+	ls.stop()
+	if serr != nil {
+		return fmt.Errorf("kill-replay: resumed campaign failed: %w", serr)
+	}
+	if aerr != nil {
+		return aerr
+	}
+
+	servedAgg, err := campaign.AggregateFiles(spec, o.label, servedRuns)
+	if err != nil {
+		return err
+	}
+	servedPath := filepath.Join(o.outdir, "CAMPAIGN_"+o.label+"-served.json")
+	if err := campaign.WriteAggregate(servedAgg, servedPath); err != nil {
+		return err
+	}
+	da, err := os.ReadFile(directPath)
+	if err != nil {
+		return err
+	}
+	sa, err := os.ReadFile(servedPath)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(da, sa) {
+		return fmt.Errorf("kill-replay: %s and %s differ — the resumed campaign is not byte-identical to direct execution", directPath, servedPath)
+	}
+	if after.Journal == nil || after.Journal.Hits != recorded {
+		return fmt.Errorf("kill-replay: %d journaled runs but %v journal hits — recorded runs were not all served from the journal", recorded, after.Journal)
+	}
+	if after.Completed != int64(total)-recorded {
+		return fmt.Errorf("kill-replay: %d runs executed on resume, want %d (total %d - %d recorded) — a recorded run was re-executed", after.Completed, int64(total)-recorded, total, recorded)
+	}
+	verdict, _ := json.Marshal(map[string]any{
+		"schema": service.Schema, "kill_replay": "ok", "kill_points": o.killAt,
+		"total_runs": total, "recorded": recorded, "journal_hits": after.Journal.Hits,
+		"resumed_executed": after.Completed, "snapshots": after.Journal.Snapshots,
+	})
+	fmt.Println(string(verdict))
 	return nil
 }

@@ -52,6 +52,9 @@ func TestDefaultsAreSane(t *testing.T) {
 	if so.addr != ":8077" || so.workers != 0 || so.queue != 0 || so.pprof || so.traceDir != "" {
 		t.Errorf("serve defaults drifted: %+v", so)
 	}
+	if so.journalDir != "" || so.journalFsync != "always" || so.snapshotEvery != 256 || so.cacheMax != 0 {
+		t.Errorf("serve durability defaults drifted: %+v", so)
+	}
 	ufs, uo := newSubmitFlags()
 	if err := ufs.Parse(nil); err != nil {
 		t.Fatal(err)
@@ -65,5 +68,8 @@ func TestDefaultsAreSane(t *testing.T) {
 	}
 	if ko.spec != "quick" || ko.label != "smoke" || ko.outdir != "" {
 		t.Errorf("smoke defaults drifted: %+v", ko)
+	}
+	if ko.killAt != "" || ko.journalDir != "" {
+		t.Errorf("smoke kill-replay defaults drifted: %+v", ko)
 	}
 }

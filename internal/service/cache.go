@@ -1,6 +1,9 @@
 package service
 
 import (
+	"container/list"
+	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/campaign"
@@ -16,6 +19,13 @@ type CacheStats struct {
 	ProblemMisses int64 `json:"problem_misses"`
 	SetupHits     int64 `json:"setup_hits"`
 	SetupMisses   int64 `json:"setup_misses"`
+	// SetupEvictions counts artifacts dropped by the LRU bound;
+	// SetupEntries is the resident artifact count at sample time. An
+	// eviction never changes any result: the next miss re-runs Setup,
+	// and Cacheable.Adopt charges the exact same virtual cost either
+	// way.
+	SetupEvictions int64 `json:"setup_evictions"`
+	SetupEntries   int64 `json:"setup_entries"`
 }
 
 // problemKey identifies one assembled problem.
@@ -38,26 +48,73 @@ type setupEntryKey struct {
 	rank int
 }
 
+// setupEntry is one LRU node: the key (so eviction can unlink the map
+// slot from the list element) and the immutable artifact.
+type setupEntry struct {
+	key setupEntryKey
+	a   *precond.Artifact
+}
+
 // Cache shares solve-setup work across requests: problem assemblies
 // keyed by (problem, grid), and preconditioner Setup artifacts keyed by
 // (problem, grid, ranks, precond, rank). Both are immutable once
 // stored — problems are shared read-only by every rank of every run,
 // and artifacts follow precond.Cacheable's read-only contract — so a
 // hit is a pure wall-clock saving with bitwise-unchanged results.
+//
+// The setup side is bounded: SetMaxEntries caps resident artifacts and
+// evicts least-recently-used beyond the cap. Eviction is safe while a
+// run is mid-Adopt: artifacts are shared by pointer and never mutated,
+// so a run holding an evicted artifact simply finishes with it; the
+// next run for that key re-runs Setup and Adopt re-charges the exact
+// Setup virtual cost, keeping evicted-then-recomputed runs
+// byte-identical to always-cached ones. The problem side stays
+// unbounded — the problem × grid space is tiny next to the setup key
+// space (which multiplies in ranks, precond family, and per-rank
+// slots).
+//
 // Cache is safe for concurrent use from the rank goroutines of
 // concurrently executing runs.
 type Cache struct {
 	mu       sync.Mutex
 	problems map[problemKey]*problemEntry
-	setups   map[setupEntryKey]*precond.Artifact
+	setups   map[setupEntryKey]*list.Element // of *setupEntry
+	lru      *list.List                      // front = most recent
+	max      int                             // 0 = unbounded
 	stats    CacheStats
 }
 
-// NewCache returns an empty cache.
+// NewCache returns an empty, unbounded cache.
 func NewCache() *Cache {
 	return &Cache{
 		problems: make(map[problemKey]*problemEntry),
-		setups:   make(map[setupEntryKey]*precond.Artifact),
+		setups:   make(map[setupEntryKey]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// SetMaxEntries bounds the setup cache to n resident artifacts
+// (per-rank slots), evicting least-recently-used entries beyond the
+// bound. n <= 0 means unbounded. Shrinking below the current
+// population evicts immediately.
+func (c *Cache) SetMaxEntries(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.max = n
+	c.evictLocked()
+}
+
+// evictLocked drops LRU tail entries until the bound holds.
+func (c *Cache) evictLocked() {
+	if c.max <= 0 {
+		return
+	}
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		e := back.Value.(*setupEntry)
+		c.lru.Remove(back)
+		delete(c.setups, e.key)
+		c.stats.SetupEvictions++
 	}
 }
 
@@ -82,22 +139,25 @@ func (c *Cache) Problem(name string, grid int) (campaign.Problem, error) {
 	return e.p, e.err
 }
 
-// Lookup implements campaign.SetupCache.
+// Lookup implements campaign.SetupCache. A hit freshens the entry's
+// LRU position.
 func (c *Cache) Lookup(k campaign.SetupKey, rank int) *precond.Artifact {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	a := c.setups[setupEntryKey{SetupKey: k, rank: rank}]
-	if a != nil {
-		c.stats.SetupHits++
-	} else {
+	el, ok := c.setups[setupEntryKey{SetupKey: k, rank: rank}]
+	if !ok {
 		c.stats.SetupMisses++
+		return nil
 	}
-	return a
+	c.stats.SetupHits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*setupEntry).a
 }
 
 // Store implements campaign.SetupCache. The first artifact stored for a
 // key wins; artifacts are deterministic functions of the key, so later
-// duplicates (two concurrent misses) carry identical data anyway.
+// duplicates (two concurrent misses) carry identical data anyway. A
+// duplicate store freshens the existing entry instead of reinserting.
 func (c *Cache) Store(k campaign.SetupKey, rank int, a *precond.Artifact) {
 	if a == nil {
 		return
@@ -105,16 +165,44 @@ func (c *Cache) Store(k campaign.SetupKey, rank int, a *precond.Artifact) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ek := setupEntryKey{SetupKey: k, rank: rank}
-	if _, ok := c.setups[ek]; !ok {
-		c.setups[ek] = a
+	if el, ok := c.setups[ek]; ok {
+		c.lru.MoveToFront(el)
+		return
 	}
+	c.setups[ek] = c.lru.PushFront(&setupEntry{key: ek, a: a})
+	c.evictLocked()
 }
 
-// Stats returns a copy of the counters.
+// Contains reports whether the key's artifact is resident, without
+// touching counters or LRU order (test and snapshot introspection).
+func (c *Cache) Contains(k campaign.SetupKey, rank int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.setups[setupEntryKey{SetupKey: k, rank: rank}]
+	return ok
+}
+
+// Index returns the resident setup keys as sorted "key#rank" strings —
+// the snapshot's operator-visible cache inventory. It does not touch
+// counters or LRU order.
+func (c *Cache) Index() []string {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.setups))
+	for ek := range c.setups {
+		keys = append(keys, fmt.Sprintf("%s/g%d/p%d/%s#%d", ek.Problem, ek.Grid, ek.Ranks, ek.Precond, ek.rank))
+	}
+	c.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats returns a copy of the counters, with SetupEntries sampled.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	st.SetupEntries = int64(c.lru.Len())
+	return st
 }
 
 // Env returns the campaign execution environment that routes one run's

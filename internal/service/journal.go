@@ -1,0 +1,651 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/campaign"
+)
+
+// JournalSchema is the version tag every run-journal line carries.
+// Journals are versioned exactly like the wire schema: a reader that
+// meets a different tag refuses the file instead of guessing at it.
+const JournalSchema = "repro-journal/v1"
+
+// journalFile is the append-only journal's file name inside the
+// journal directory (next to snapshotFile).
+const journalFile = "journal.jsonl"
+
+// JournalEntry is one line of the repro-journal/v1 stream. Three kinds
+// record the server's durable history — "accept" (a run was scheduled),
+// "run" (a run completed, Record carried inline), "campaign" (a
+// campaign request was admitted) — and "seal" marks the spot where a
+// reopening writer sealed a torn trailing line left by a crash, so a
+// reader can tell a sealed tear from mid-file corruption.
+type JournalEntry struct {
+	// Schema is "repro-journal/v1".
+	Schema string `json:"schema"`
+	// Kind is "accept", "run", "campaign" or "seal".
+	Kind string `json:"kind"`
+	// ID is the run identity (accept/run): the run key, derived seed
+	// and solve parameters that make two requests the same run.
+	ID string `json:"id,omitempty"`
+	// Record is the completed run's result (kind "run").
+	Record *campaign.Record `json:"record,omitempty"`
+	// Digest identifies an admitted campaign (kind "campaign"): a hash
+	// of its spec and shard selector.
+	Digest string `json:"digest,omitempty"`
+	// Runs is the campaign's planned run count (kind "campaign").
+	Runs int `json:"runs,omitempty"`
+	// Offset is the byte offset at which a torn tail was sealed
+	// (kind "seal").
+	Offset int64 `json:"offset,omitempty"`
+}
+
+// JournalSink is the append target of the run journal. The server
+// writes one full line (newline included) per Append; Sync forces the
+// platform's durability barrier, Rotate truncates the journal after a
+// snapshot has captured its state, and Close releases the file.
+// Implementations must tolerate serialized calls from multiple
+// goroutines (the journal layer holds its own lock around every call).
+// The production sink is OpenJournal's file sink; the kill-and-replay
+// harness injects a CrashSink wrapper instead.
+type JournalSink interface {
+	Append(line []byte) error
+	Sync() error
+	Rotate() error
+	Close() error
+}
+
+// fileSink is the production JournalSink: O_APPEND writes to
+// journal.jsonl with an optional fsync per append.
+type fileSink struct {
+	f    *os.File
+	sync bool
+}
+
+// OpenJournal opens (creating if missing) the journal file inside dir
+// for appending and returns the production sink. A torn trailing line —
+// the append a crash cut short — is sealed first: a newline closes the
+// fragment and a "seal" entry records the offset, so readers skip the
+// fragment instead of mistaking it for corruption. fsync true makes
+// every append a durability barrier ("always" policy); false leaves
+// flushing to the OS ("off" — faster, and a crash may lose the last
+// few appends but never tears the resume contract, because lost runs
+// simply re-execute).
+func OpenJournal(dir string, fsync bool) (JournalSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &fileSink{f: f, sync: fsync}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if size := st.Size(); size > 0 {
+		tail := make([]byte, 1)
+		if _, err := f.ReadAt(tail, size-1); err == nil && tail[0] != '\n' {
+			seal, _ := json.Marshal(JournalEntry{Schema: JournalSchema, Kind: "seal", Offset: size})
+			if _, err := f.Write(append([]byte("\n"), append(seal, '\n')...)); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// Append implements JournalSink.
+func (s *fileSink) Append(line []byte) error {
+	if _, err := s.f.Write(line); err != nil {
+		return err
+	}
+	if s.sync {
+		return s.f.Sync()
+	}
+	return nil
+}
+
+// Sync implements JournalSink.
+func (s *fileSink) Sync() error { return s.f.Sync() }
+
+// Rotate implements JournalSink: the snapshot has captured everything,
+// so the journal restarts empty.
+func (s *fileSink) Rotate() error { return s.f.Truncate(0) }
+
+// Close implements JournalSink.
+func (s *fileSink) Close() error { return s.f.Close() }
+
+// JournalRead is the result of reading one journal file: the entries in
+// append order, plus the byte offset of a torn trailing line when the
+// file ends mid-append (-1 when the tail is clean). A torn tail is the
+// expected signature of a crash and never an error; everything else
+// that does not parse is.
+type JournalRead struct {
+	// Entries are the complete entries, in append order, seal markers
+	// excluded.
+	Entries []JournalEntry
+	// TornOffset is the byte offset of the torn trailing line, or -1.
+	TornOffset int64
+}
+
+// ReadJournal parses the journal inside dir with crash-shaped
+// tolerance and everything-else strictness: a missing or empty file is
+// a fresh start; a final line cut mid-append (no terminating newline,
+// or unparseable and last) is reported as the torn tail and skipped; an
+// unparseable line that a reopening writer already sealed (the next
+// line is a "seal" entry) is skipped. Any other failure — mid-file
+// garbage, a foreign schema tag, an entry missing its kind's required
+// fields — fails hard, naming the file and the byte offset, because a
+// journal that cannot be trusted must not silently under-resume.
+func ReadJournal(dir string) (*JournalRead, error) {
+	path := filepath.Join(dir, journalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &JournalRead{TornOffset: -1}, nil
+		}
+		return nil, err
+	}
+	return parseJournal(path, data)
+}
+
+// parseJournal is ReadJournal over in-memory bytes (the fuzz target's
+// entry point). name is used in diagnostics only.
+func parseJournal(name string, data []byte) (*JournalRead, error) {
+	jr := &JournalRead{TornOffset: -1}
+	var offset int64
+	// Split keeping track of byte offsets; the final element is torn
+	// when the file does not end in a newline.
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		line := data
+		terminated := nl >= 0
+		if terminated {
+			line = data[:nl]
+			data = data[nl+1:]
+		} else {
+			data = nil
+		}
+		lineStart := offset
+		offset += int64(len(line))
+		if terminated {
+			offset++
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		e, perr := parseJournalLine(line)
+		if !terminated {
+			// The append a crash cut short — even if the fragment
+			// happens to parse, the write never completed, so the run
+			// (if any) re-executes on resume.
+			jr.TornOffset = lineStart
+			return jr, nil
+		}
+		if perr != nil {
+			// A sealed tear is forgiven: the reopening writer marked it.
+			if sealed, skip := sealFollows(data); sealed {
+				data = skip
+				continue
+			}
+			if len(bytes.TrimSpace(data)) == 0 {
+				// Unparseable final line (crash after the newline made
+				// it to disk, content did not): torn tail.
+				jr.TornOffset = lineStart
+				return jr, nil
+			}
+			return nil, fmt.Errorf("journal %s: %s at byte %d", name, perr, lineStart)
+		}
+		if e.Kind == "seal" {
+			// A seal with no preceding tear (the tear's bytes never
+			// reached disk): nothing to forgive.
+			continue
+		}
+		jr.Entries = append(jr.Entries, e)
+	}
+	return jr, nil
+}
+
+// parseJournalLine decodes and structurally validates one line. The
+// returned error is diagnostic text without position (the caller adds
+// file and offset).
+func parseJournalLine(line []byte) (JournalEntry, error) {
+	var e JournalEntry
+	if err := json.Unmarshal(line, &e); err != nil {
+		return e, fmt.Errorf("corrupt entry (not valid JSON)")
+	}
+	if e.Schema != JournalSchema {
+		return e, fmt.Errorf("foreign schema %q (want %q)", e.Schema, JournalSchema)
+	}
+	switch e.Kind {
+	case "accept":
+		if e.ID == "" {
+			return e, fmt.Errorf("accept entry missing id")
+		}
+	case "run":
+		if e.ID == "" || e.Record == nil {
+			return e, fmt.Errorf("run entry missing id or record")
+		}
+	case "campaign":
+		if e.Digest == "" {
+			return e, fmt.Errorf("campaign entry missing digest")
+		}
+	case "seal":
+	default:
+		return e, fmt.Errorf("unknown kind %q", e.Kind)
+	}
+	return e, nil
+}
+
+// sealFollows reports whether rest begins with a terminated "seal"
+// entry, returning the remainder after it when so.
+func sealFollows(rest []byte) (bool, []byte) {
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return false, rest
+	}
+	e, err := parseJournalLine(rest[:nl])
+	if err != nil || e.Kind != "seal" {
+		return false, rest
+	}
+	return true, rest[nl+1:]
+}
+
+// runIdentity is the journal's notion of "the same run": the cell run
+// key (axes + replicate), the derived per-run seed (which folds in the
+// campaign seed and cell index), and the solve parameters that shape
+// the result. Two requests with equal identity are the same
+// deterministic computation, so a journaled record answers both.
+func runIdentity(req *SolveRequest) string {
+	_, cell := req.SpecCell()
+	return fmt.Sprintf("%s|%016x|g%d|t%g|i%d|r%d",
+		cell.RunKey(req.Rep), campaign.RunSeed(req.Seed, req.Cell, req.Rep),
+		req.Grid, req.Tol, req.MaxIter, req.MaxRestarts)
+}
+
+// campaignDigest identifies one admitted campaign request: a hash of
+// its canonical spec JSON and shard selector.
+func campaignDigest(spec *campaign.Spec, shard, shards int) string {
+	b, _ := json.Marshal(spec)
+	h := fnv.New64a()
+	h.Write(b)
+	fmt.Fprintf(h, "|%d/%d", shard, shards)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// JournalStats are the durability counters exposed through GET /stats
+// (and mirrored on /metrics) while a journal directory is configured.
+type JournalStats struct {
+	// Records counts run identities with a journaled result — the runs
+	// a restarted server serves without re-executing.
+	Records int64 `json:"records"`
+	// Pending counts runs accepted but not yet recorded — the pool
+	// queue a snapshot persists and a restart reports as unfinished.
+	Pending int64 `json:"pending"`
+	// Hits counts requests answered from the journal instead of
+	// executing.
+	Hits int64 `json:"hits"`
+	// Appends counts journal lines written; AppendErrors counts writes
+	// the sink refused (each one is a run that will re-execute after a
+	// restart — data loss worth alerting on, never a failed request).
+	Appends      int64 `json:"appends"`
+	AppendErrors int64 `json:"append_errors"`
+	// Snapshots counts state snapshots written.
+	Snapshots int64 `json:"snapshots"`
+	// SealedTail is true when the journal carried a torn trailing line
+	// at startup (the crash signature) and it was sealed.
+	SealedTail bool `json:"sealed_tail,omitempty"`
+}
+
+// CampaignCursor is the durable progress of one admitted campaign:
+// planned runs and runs already answered (journal hits included). A
+// snapshot persists the cursors so a restarted server reports where
+// every in-flight campaign stopped.
+type CampaignCursor struct {
+	// Runs is the campaign's planned run count; Done counts runs
+	// already answered for it.
+	Runs int `json:"runs"`
+	Done int `json:"done"`
+}
+
+// durable is the server's durability state: the journal sink, the
+// identity-indexed record of every completed run, the pending (accepted
+// but unfinished) set, campaign cursors, and the snapshot machinery.
+// All methods are safe for concurrent use.
+type durable struct {
+	mu            sync.Mutex
+	sink          JournalSink
+	dir           string
+	snapshotEvery int
+	records       map[string]campaign.Record
+	pending       map[string]bool
+	campaigns     map[string]*CampaignCursor
+	sinceSnap     int
+	sealedTail    bool
+	cacheIndex    func() []string
+
+	hits, appends, appendErrors, snapshots atomic.Int64
+}
+
+// newDurable restores state from dir (snapshot first, then journal
+// replay — the union is idempotent because rotation only truncates
+// after a snapshot has captured everything) and opens the sink. sink
+// nil uses the production file sink.
+func newDurable(dir string, fsync bool, snapshotEvery int, sink JournalSink, cacheIndex func() []string) (*durable, error) {
+	d := &durable{
+		dir:           dir,
+		snapshotEvery: snapshotEvery,
+		records:       make(map[string]campaign.Record),
+		pending:       make(map[string]bool),
+		campaigns:     make(map[string]*CampaignCursor),
+		cacheIndex:    cacheIndex,
+	}
+	if d.snapshotEvery <= 0 {
+		d.snapshotEvery = 256
+	}
+	snap, err := ReadSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		for id, rec := range snap.Records {
+			d.records[id] = rec
+		}
+		for _, id := range snap.Pending {
+			d.pending[id] = true
+		}
+		for digest, cur := range snap.Campaigns {
+			c := cur
+			d.campaigns[digest] = &c
+		}
+	}
+	jr, err := ReadJournal(dir)
+	if err != nil {
+		return nil, err
+	}
+	d.sealedTail = jr.TornOffset >= 0
+	for _, e := range jr.Entries {
+		switch e.Kind {
+		case "accept":
+			if _, done := d.records[e.ID]; !done {
+				d.pending[e.ID] = true
+			}
+		case "run":
+			d.records[e.ID] = *e.Record
+			delete(d.pending, e.ID)
+		case "campaign":
+			if _, ok := d.campaigns[e.Digest]; !ok {
+				d.campaigns[e.Digest] = &CampaignCursor{Runs: e.Runs}
+			}
+		}
+	}
+	if sink == nil {
+		// Opening the writer seals any torn tail on disk, so the next
+		// reader sees a forgiven tear, not corruption.
+		if sink, err = OpenJournal(dir, fsync); err != nil {
+			return nil, err
+		}
+	}
+	d.sink = sink
+	return d, nil
+}
+
+// append writes one entry through the sink. Append failures are
+// counted, never propagated: the run's result is still sound and still
+// answered — only its durability is lost, exactly as if the process had
+// died before the write.
+func (d *durable) append(e JournalEntry) {
+	e.Schema = JournalSchema
+	line, err := json.Marshal(e)
+	if err != nil {
+		d.appendErrors.Add(1)
+		return
+	}
+	line = append(line, '\n')
+	d.mu.Lock()
+	err = d.sink.Append(line)
+	d.mu.Unlock()
+	if err != nil {
+		d.appendErrors.Add(1)
+		return
+	}
+	d.appends.Add(1)
+}
+
+// lookup returns the journaled record for id, counting a hit.
+func (d *durable) lookup(id string) (campaign.Record, bool) {
+	d.mu.Lock()
+	rec, ok := d.records[id]
+	d.mu.Unlock()
+	if ok {
+		d.hits.Add(1)
+	}
+	return rec, ok
+}
+
+// accept journals one scheduled run.
+func (d *durable) accept(id string) {
+	d.mu.Lock()
+	d.pending[id] = true
+	d.mu.Unlock()
+	d.append(JournalEntry{Kind: "accept", ID: id})
+}
+
+// record journals one completed run and triggers the periodic
+// snapshot.
+func (d *durable) record(id string, rec campaign.Record) {
+	d.append(JournalEntry{Kind: "run", ID: id, Record: &rec})
+	var snap *Snapshot
+	d.mu.Lock()
+	d.records[id] = rec
+	delete(d.pending, id)
+	d.sinceSnap++
+	if d.sinceSnap >= d.snapshotEvery {
+		d.sinceSnap = 0
+		snap = d.snapshotLocked()
+	}
+	d.mu.Unlock()
+	if snap != nil {
+		d.writeSnapshot(snap)
+	}
+}
+
+// campaignBegin journals one admitted campaign and opens its cursor.
+func (d *durable) campaignBegin(digest string, runs int) {
+	d.mu.Lock()
+	d.campaigns[digest] = &CampaignCursor{Runs: runs}
+	d.mu.Unlock()
+	d.append(JournalEntry{Kind: "campaign", Digest: digest, Runs: runs})
+}
+
+// campaignTick advances one campaign's cursor by one answered run.
+func (d *durable) campaignTick(digest string) {
+	d.mu.Lock()
+	if cur, ok := d.campaigns[digest]; ok {
+		cur.Done++
+	}
+	d.mu.Unlock()
+}
+
+// snapshotLocked assembles the snapshot under d.mu (cheap copies only).
+func (d *durable) snapshotLocked() *Snapshot {
+	snap := &Snapshot{
+		Schema:    SnapshotSchema,
+		Records:   make(map[string]campaign.Record, len(d.records)),
+		Campaigns: make(map[string]CampaignCursor, len(d.campaigns)),
+	}
+	for id, rec := range d.records {
+		snap.Records[id] = rec
+	}
+	for id := range d.pending {
+		snap.Pending = append(snap.Pending, id)
+	}
+	sort.Strings(snap.Pending)
+	for digest, cur := range d.campaigns {
+		snap.Campaigns[digest] = *cur
+	}
+	if d.cacheIndex != nil {
+		snap.CacheIndex = d.cacheIndex()
+	}
+	return snap
+}
+
+// writeSnapshot persists snap and rotates the journal it captured.
+// The sink is probed (Sync) first: a sink that refuses writes means
+// the process is effectively dead for durability purposes — the
+// kill-and-replay harness's simulated crash — and a dead process
+// writes no snapshots. Rotation happens only after the snapshot is
+// durably in place; a crash between the two leaves snapshot and
+// journal overlapping, which replay merges idempotently.
+func (d *durable) writeSnapshot(snap *Snapshot) {
+	d.mu.Lock()
+	err := d.sink.Sync()
+	d.mu.Unlock()
+	if err != nil {
+		d.appendErrors.Add(1)
+		return
+	}
+	if err := WriteSnapshot(d.dir, snap); err != nil {
+		d.appendErrors.Add(1)
+		return
+	}
+	d.mu.Lock()
+	err = d.sink.Rotate()
+	d.mu.Unlock()
+	if err != nil {
+		d.appendErrors.Add(1)
+		return
+	}
+	d.snapshots.Add(1)
+}
+
+// close writes a final snapshot and releases the sink.
+func (d *durable) close() {
+	d.mu.Lock()
+	snap := d.snapshotLocked()
+	d.mu.Unlock()
+	d.writeSnapshot(snap)
+	d.mu.Lock()
+	d.sink.Close()
+	d.mu.Unlock()
+}
+
+// stats samples the durability counters.
+func (d *durable) stats() JournalStats {
+	d.mu.Lock()
+	records, pending := len(d.records), len(d.pending)
+	d.mu.Unlock()
+	return JournalStats{
+		Records:      int64(records),
+		Pending:      int64(pending),
+		Hits:         d.hits.Load(),
+		Appends:      d.appends.Load(),
+		AppendErrors: d.appendErrors.Load(),
+		Snapshots:    d.snapshots.Load(),
+		SealedTail:   d.sealedTail,
+	}
+}
+
+// CrashSink is the kill-and-replay harness's injectable journal writer:
+// it forwards to Inner until a seeded crash point, then behaves exactly
+// like a dead process — every subsequent append is refused. TearAtRun
+// cuts the nth "run" append mid-line (the torn-tail signature a restart
+// must seal); DieAfterRun completes the nth "run" append and then dies
+// (the between-runs kill point). Kill crashes immediately from outside
+// (the mid-SSE-stream kill point). OnCrash fires once, from the
+// goroutine that crashed — implementations that stop servers must not
+// block in it.
+type CrashSink struct {
+	// Inner is the real sink; TearAtRun / DieAfterRun are 1-based run-
+	// append ordinals (0 disables); OnCrash observes the crash.
+	Inner       JournalSink
+	TearAtRun   int
+	DieAfterRun int
+	OnCrash     func()
+
+	mu      sync.Mutex
+	runs    int
+	crashed atomic.Bool
+	once    sync.Once
+}
+
+// errCrashed is what a dead CrashSink answers every call with.
+var errCrashed = fmt.Errorf("journal sink: simulated crash")
+
+// Kill crashes the sink now — the external trigger for kill points not
+// tied to a journal append (mid-SSE-stream).
+func (c *CrashSink) Kill() {
+	c.crashed.Store(true)
+	if c.OnCrash != nil {
+		c.once.Do(c.OnCrash)
+	}
+}
+
+// Crashed reports whether the crash point has fired.
+func (c *CrashSink) Crashed() bool { return c.crashed.Load() }
+
+// RunAppends returns the number of "run" appends observed.
+func (c *CrashSink) RunAppends() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs
+}
+
+// Append implements JournalSink with the seeded crash behaviour.
+func (c *CrashSink) Append(line []byte) error {
+	if c.crashed.Load() {
+		return errCrashed
+	}
+	if !bytes.Contains(line, []byte(`"kind":"run"`)) {
+		return c.Inner.Append(line)
+	}
+	c.mu.Lock()
+	c.runs++
+	n := c.runs
+	c.mu.Unlock()
+	if c.TearAtRun > 0 && n == c.TearAtRun {
+		// Half a line, no newline: the mid-append tear.
+		c.Inner.Append(line[:len(line)/2])
+		c.Kill()
+		return errCrashed
+	}
+	err := c.Inner.Append(line)
+	if c.DieAfterRun > 0 && n == c.DieAfterRun {
+		c.Kill()
+	}
+	return err
+}
+
+// Sync implements JournalSink.
+func (c *CrashSink) Sync() error {
+	if c.crashed.Load() {
+		return errCrashed
+	}
+	return c.Inner.Sync()
+}
+
+// Rotate implements JournalSink.
+func (c *CrashSink) Rotate() error {
+	if c.crashed.Load() {
+		return errCrashed
+	}
+	return c.Inner.Rotate()
+}
+
+// Close implements JournalSink. A crashed sink still closes the inner
+// file, so harness passes do not leak descriptors.
+func (c *CrashSink) Close() error { return c.Inner.Close() }

@@ -36,7 +36,10 @@ func TestLoadgenQuickCampaignByteIdentical(t *testing.T) {
 	}
 
 	// Load: the same campaign, every run a POST against the server.
-	srv := New(Options{Workers: 8, Queue: 16})
+	srv, err := New(Options{Workers: 8, Queue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.Close()

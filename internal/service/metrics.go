@@ -72,6 +72,42 @@ func (s *Server) initMetrics() {
 	r.CounterFunc("repro_setup_cache_misses_total",
 		"Preconditioner setups factorised fresh.",
 		cacheStat(func(cs CacheStats) int64 { return cs.SetupMisses }))
+	r.CounterFunc("repro_setup_cache_evictions_total",
+		"Preconditioner setup artifacts dropped by the LRU size bound.",
+		cacheStat(func(cs CacheStats) int64 { return cs.SetupEvictions }))
+	r.GaugeFunc("repro_setup_cache_entries",
+		"Preconditioner setup artifacts currently resident (per-rank slots).",
+		cacheStat(func(cs CacheStats) int64 { return cs.SetupEntries }))
+
+	// Durability counters: sampled from the journal layer at scrape
+	// time (all zero while the server runs without -journal-dir), so
+	// /metrics reconciles exactly with the /stats journal block.
+	journalStat := func(pick func(JournalStats) int64) func() float64 {
+		return func() float64 {
+			if s.durable == nil {
+				return 0
+			}
+			return float64(pick(s.durable.stats()))
+		}
+	}
+	r.GaugeFunc("repro_journal_records",
+		"Run identities with a journaled result, servable without re-execution.",
+		journalStat(func(js JournalStats) int64 { return js.Records }))
+	r.GaugeFunc("repro_journal_pending",
+		"Runs accepted but not yet recorded (the pool queue's durable shadow).",
+		journalStat(func(js JournalStats) int64 { return js.Pending }))
+	r.CounterFunc("repro_journal_hits_total",
+		"Requests answered from the run journal instead of executing.",
+		journalStat(func(js JournalStats) int64 { return js.Hits }))
+	r.CounterFunc("repro_journal_appends_total",
+		"Journal lines written.",
+		journalStat(func(js JournalStats) int64 { return js.Appends }))
+	r.CounterFunc("repro_journal_append_errors_total",
+		"Journal writes the sink refused (each one is a run that will re-execute after a restart).",
+		journalStat(func(js JournalStats) int64 { return js.AppendErrors }))
+	r.CounterFunc("repro_snapshot_writes_total",
+		"State snapshots written (each rotates the journal it captured).",
+		journalStat(func(js JournalStats) int64 { return js.Snapshots }))
 }
 
 // route registers one endpoint on the mux behind a request counter, so

@@ -25,6 +25,29 @@ type Options struct {
 	// campaign engine's TraceDir. Reruns of a run key overwrite its
 	// file — runs are deterministic, so the bytes are identical anyway.
 	TraceDir string
+	// JournalDir, when non-empty, enables durability: an append-only
+	// repro-journal/v1 run journal plus periodic repro-snapshot/v1
+	// state snapshots live there, a restarted server reloads both and
+	// answers already-recorded runs from the journal without
+	// re-executing them. See docs/SERVICE.md "Durability".
+	JournalDir string
+	// JournalFsync makes every journal append an fsync barrier (the
+	// "always" policy). Off, the OS flushes on its own schedule: a
+	// crash may lose the last few appends, which merely re-execute on
+	// resume.
+	JournalFsync bool
+	// SnapshotEvery is the number of completed runs between state
+	// snapshots (default 256). Each snapshot rotates the journal it
+	// captured, keeping both files small on long-lived servers.
+	SnapshotEvery int
+	// CacheMaxEntries bounds the setup cache's resident artifacts
+	// (per-rank slots) with LRU eviction; 0 means unbounded.
+	CacheMaxEntries int
+	// JournalSink overrides the journal's append target (the
+	// kill-and-replay harness injects a CrashSink here). Requires
+	// JournalDir, which still locates the snapshot and journal for
+	// state loading.
+	JournalSink JournalSink
 }
 
 // Server is the solve service: an http.Handler exposing the
@@ -36,6 +59,7 @@ type Server struct {
 	traceDir string
 	pool     *pool
 	cache    *Cache
+	durable  *durable
 	mux      *http.ServeMux
 	start    time.Time
 
@@ -56,8 +80,12 @@ type Server struct {
 	perSolver map[string]int64
 }
 
-// New builds a Server and starts its worker pool.
-func New(opts Options) *Server {
+// New builds a Server and starts its worker pool. With
+// Options.JournalDir set it first restores durable state (snapshot +
+// journal replay) and opens the journal for appending; a journal or
+// snapshot that cannot be trusted fails construction rather than
+// serving with amnesia.
+func New(opts Options) (*Server, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -75,22 +103,40 @@ func New(opts Options) *Server {
 		endpoints: make(map[string]*obs.Counter),
 		perSolver: make(map[string]int64),
 	}
+	if opts.CacheMaxEntries > 0 {
+		s.cache.SetMaxEntries(opts.CacheMaxEntries)
+	}
+	if opts.JournalDir != "" {
+		d, err := newDurable(opts.JournalDir, opts.JournalFsync, opts.SnapshotEvery, opts.JournalSink, s.cache.Index)
+		if err != nil {
+			s.pool.close()
+			return nil, err
+		}
+		s.durable = d
+	}
 	s.initMetrics()
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /stats", "stats", s.handleStats)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	s.route("POST /v1/solve", "solve", s.handleSolve)
 	s.route("POST /v1/campaign", "campaign", s.handleCampaign)
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains the worker pool: every queued and running solve
-// completes, then the workers exit. Stop the HTTP listener first
-// (http.Server.Shutdown) so no new work arrives while draining.
-func (s *Server) Close() { s.pool.close() }
+// Close drains the worker pool — every queued and running solve
+// completes, then the workers exit — and, when durability is on,
+// writes a final snapshot and closes the journal. Stop the HTTP
+// listener first (http.Server.Shutdown) so no new work arrives while
+// draining.
+func (s *Server) Close() {
+	s.pool.close()
+	if s.durable != nil {
+		s.durable.close()
+	}
+}
 
 // Cache exposes the server's setup cache (tests and /stats).
 func (s *Server) Cache() *Cache { return s.cache }
@@ -128,8 +174,11 @@ type StatsResponse struct {
 	// Endpoints counts HTTP requests received, by endpoint name —
 	// the same counters repro_http_requests_total exposes on /metrics.
 	Endpoints map[string]int64 `json:"endpoints"`
-	// Cache carries the setup cache's hit/miss counters.
+	// Cache carries the setup cache's hit/miss/eviction counters.
 	Cache CacheStats `json:"cache"`
+	// Journal carries the durability counters; nil while the server
+	// runs without a journal directory.
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -137,6 +186,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats samples the server's counters — the same object GET /stats
+// serves (embedders and startup banners read it in-process).
+func (s *Server) Stats() StatsResponse {
 	s.mu.Lock()
 	resp := StatsResponse{
 		Schema:     Schema,
@@ -159,7 +214,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.Endpoints[name] = c.Value()
 	}
 	resp.Cache = s.cache.Stats()
-	writeJSON(w, http.StatusOK, resp)
+	if s.durable != nil {
+		js := s.durable.stats()
+		resp.Journal = &js
+	}
+	return resp
 }
 
 // execute runs one request's solve on the calling goroutine (a pool
@@ -179,6 +238,12 @@ func (s *Server) execute(req *SolveRequest, progress func(attempt, iter int, rel
 		// A failed trace write must not fail the solve: the record is
 		// sound. It is counted, so a scrape surfaces the data loss.
 		s.traceErrors.Inc()
+	}
+	if s.durable != nil && !rec.Transient {
+		// Transient harness errors are retryable by contract (campaign
+		// resume re-executes them); journaling one would pin a failure
+		// a restart should retry.
+		s.durable.record(runIdentity(req), rec)
 	}
 	s.mu.Lock()
 	s.completed++
@@ -210,7 +275,7 @@ func (s *Server) job(req *SolveRequest, progress func(attempt, iter int, relres 
 func (s *Server) schedule(req *SolveRequest, progress func(attempt, iter int, relres float64), discard func(attempt, solve int)) (<-chan campaign.Record, bool) {
 	done := make(chan campaign.Record, 1)
 	accepted := s.pool.submit(s.job(req, progress, discard, done))
-	s.account(accepted)
+	s.account(req, accepted)
 	if !accepted {
 		return nil, false
 	}
@@ -224,12 +289,13 @@ func (s *Server) schedule(req *SolveRequest, progress func(attempt, iter int, re
 // undercounts refusals.
 func (s *Server) scheduleWait(req *SolveRequest, deliver chan<- campaign.Record) bool {
 	accepted := s.pool.submitWait(s.job(req, nil, nil, deliver), s.queue/2)
-	s.account(accepted)
+	s.account(req, accepted)
 	return accepted
 }
 
-// account records one scheduling outcome.
-func (s *Server) account(accepted bool) {
+// account records one scheduling outcome, journaling the acceptance so
+// a snapshot can persist the queue's durable shadow.
+func (s *Server) account(req *SolveRequest, accepted bool) {
 	s.mu.Lock()
 	if accepted {
 		s.received++
@@ -237,6 +303,21 @@ func (s *Server) account(accepted bool) {
 		s.rejected++
 	}
 	s.mu.Unlock()
+	if accepted && s.durable != nil {
+		s.durable.accept(runIdentity(req))
+	}
+}
+
+// journalHit answers req from the journal when its run identity has a
+// recorded result. Hits bypass the pool entirely and are not counted
+// as received or completed — on /stats, completed counts only runs
+// actually executed, which is exactly what the kill-and-replay harness
+// asserts never includes a recorded run.
+func (s *Server) journalHit(req *SolveRequest) (campaign.Record, bool) {
+	if s.durable == nil {
+		return campaign.Record{}, false
+	}
+	return s.durable.lookup(runIdentity(req))
 }
 
 // maxRequestBytes caps a request body: axis lists in a campaign spec
@@ -274,6 +355,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := req.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if rec, ok := s.journalHit(&req); ok {
+		if req.Stream {
+			s.streamRecorded(w, rec)
+		} else {
+			writeJSON(w, http.StatusOK, SolveResponse{Schema: Schema, Record: rec})
+		}
 		return
 	}
 	if req.Stream {

@@ -25,7 +25,10 @@ func testRequest() SolveRequest {
 
 func newTestServer(t *testing.T, opts Options) (*Server, *Client, func()) {
 	t.Helper()
-	srv := New(opts)
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	cl := &Client{Base: ts.URL}
 	return srv, cl, func() {
@@ -390,7 +393,10 @@ func TestSubmitWaitLeavesHeadroom(t *testing.T) {
 // TestCloseDrains: Close must wait for queued and running jobs — the
 // graceful-shutdown contract.
 func TestCloseDrains(t *testing.T) {
-	srv := New(Options{Workers: 1, Queue: 4})
+	srv, err := New(Options{Workers: 1, Queue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	release := make(chan struct{})
 	started := make(chan struct{})
 	ran := 0

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/campaign"
+)
+
+// SnapshotSchema is the version tag of the periodic state snapshot.
+const SnapshotSchema = "repro-snapshot/v1"
+
+// snapshotFile is the snapshot's file name inside the journal
+// directory.
+const snapshotFile = "snapshot.json"
+
+// Snapshot is the server's durable checkpoint: everything a restarted
+// solverd needs to resume where the previous process stopped. It is
+// written atomically (temp file + rename) every -snapshot-every
+// completed runs and once more on clean shutdown; after a snapshot
+// lands, the journal it captured is rotated away, so recovery is
+// always "load the snapshot, replay the journal tail" and both files
+// stay small on long-lived servers.
+type Snapshot struct {
+	// Schema is "repro-snapshot/v1".
+	Schema string `json:"schema"`
+	// Records maps run identity to the completed result — the runs a
+	// restarted server answers from the journal instead of
+	// re-executing.
+	Records map[string]campaign.Record `json:"records"`
+	// Pending lists run identities accepted but not yet completed at
+	// snapshot time (the pool queue's durable shadow), sorted.
+	Pending []string `json:"pending,omitempty"`
+	// Campaigns maps campaign digest to its progress cursor.
+	Campaigns map[string]CampaignCursor `json:"campaigns,omitempty"`
+	// CacheIndex lists the setup-cache keys resident at snapshot time,
+	// sorted — operator-visible cache state, not replayed into the
+	// cache (setups are recomputed on demand, and Adopt re-charges the
+	// exact Setup cost, so a cold cache cannot change any result).
+	CacheIndex []string `json:"cache_index,omitempty"`
+}
+
+// WriteSnapshot atomically persists snap into dir: marshal to a temp
+// file, fsync, rename over snapshot.json. A crash at any point leaves
+// either the old snapshot or the new one, never a torn mix.
+func WriteSnapshot(dir string, snap *Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	tmp, err := os.CreateTemp(dir, snapshotFile+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, snapshotFile))
+}
+
+// ReadSnapshot loads the snapshot from dir. A missing file is a fresh
+// start (nil, nil); an unreadable or foreign-schema snapshot is a hard
+// error, because serving with silently amnesiac state would re-execute
+// recorded runs — the operator must repair or remove the file
+// deliberately.
+func ReadSnapshot(dir string) (*Snapshot, error) {
+	path := filepath.Join(dir, snapshotFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("snapshot %s: corrupt: %w", path, err)
+	}
+	if snap.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("snapshot %s: foreign schema %q (want %q)", path, snap.Schema, SnapshotSchema)
+	}
+	return &snap, nil
+}

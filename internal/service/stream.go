@@ -97,6 +97,24 @@ wait:
 	}
 }
 
+// streamRecorded answers a Stream=true solve whose result is already
+// journaled: the SSE envelope with a single "result" event. Progress
+// events are not replayed — the journal records results, not
+// timelines; a consumer that needs the iteration trace re-runs with
+// the journal disabled or consults the trace directory.
+func (s *Server) streamRecorded(w http.ResponseWriter, rec campaign.Record) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	writeSSE(w, fl, "result", SolveResponse{Schema: Schema, Record: rec})
+}
+
 // streamCampaign executes one campaign shard over the shared pool and
 // streams each completed run as one NDJSON campaign.Record line
 // (completion order — arbitrary, exactly like a local engine's JSONL),
@@ -118,6 +136,16 @@ func (s *Server) streamCampaign(ctx context.Context, w http.ResponseWriter, spec
 	jobs := spec.ShardRuns(shard, shards)
 	cellCount := campaign.CountShardCells(jobs)
 
+	// Durable campaign cursor: the journal records the admitted
+	// campaign (digest of spec + shard) and each answered run advances
+	// it, so a restarted server reports where every in-flight campaign
+	// stopped.
+	digest := ""
+	if s.durable != nil {
+		digest = campaignDigest(spec, shard, shards)
+		s.durable.campaignBegin(digest, len(jobs))
+	}
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
@@ -129,7 +157,9 @@ func (s *Server) streamCampaign(ctx context.Context, w http.ResponseWriter, spec
 	// Feed through scheduleWait so a big grid trickles through the
 	// shared bounded pool with headroom left for interactive solves;
 	// runs refused because the server started draining become
-	// harness-error records, keeping the stream complete.
+	// harness-error records, keeping the stream complete. Runs the
+	// journal already holds are delivered straight from it — a resumed
+	// campaign re-executes only what the crash left unrecorded.
 	go func() {
 		for _, j := range jobs {
 			if ctx.Err() != nil {
@@ -137,6 +167,10 @@ func (s *Server) streamCampaign(ctx context.Context, w http.ResponseWriter, spec
 				continue
 			}
 			req := NewSolveRequest(spec, j.Cell, j.Rep)
+			if rec, ok := s.journalHit(&req); ok {
+				results <- rec
+				continue
+			}
 			if !s.scheduleWait(&req, results) {
 				results <- errorRecord(spec, j.Cell, j.Rep, "service: server draining, run not executed", true)
 			}
@@ -149,6 +183,9 @@ func (s *Server) streamCampaign(ctx context.Context, w http.ResponseWriter, spec
 		rec := <-results
 		if rec.Err != "" {
 			summary.Errored++
+		}
+		if s.durable != nil {
+			s.durable.campaignTick(digest)
 		}
 		enc.Encode(rec)
 		fl.Flush()
