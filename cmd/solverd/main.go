@@ -15,6 +15,7 @@
 //	solverd serve -addr :8077 -pprof -trace-dir traces                 # debug profiling + per-run traces
 //	solverd serve -addr :8077 -journal-dir journal -journal-fsync off  # durable: journal + snapshots + hot resume
 //	solverd serve -addr :8077 -journal-dir journal -snapshot-every 128 -cache-max-entries 512
+//	solverd serve -addr :8077 -log-level debug                         # structured key=value logs on stderr
 //	solverd submit -addr http://localhost:8077 -spec quick -label dev  # campaign through the service
 //	solverd submit -addr http://localhost:8077 -spec quick -shard 0/2 -runs shard0.jsonl -no-agg
 //	solverd smoke -spec quick -label ci                                # in-process served-vs-direct diff
@@ -23,6 +24,14 @@
 // The spec is "quick", "full", or a path to a JSON Spec file; see
 // docs/SERVICE.md for the wire schema and docs/CAMPAIGNS.md for the
 // campaign formats.
+//
+// The server logs structured key=value lines to stderr, each carrying
+// the deterministic request correlation ID (req=r-... / req=c-...)
+// that also names trace files, stamps journal entries and rides SSE
+// id: lines — see docs/OBSERVABILITY.md. GET /healthz is pure
+// liveness; GET /readyz flips to 503 the moment a shutdown signal
+// starts the drain, so load balancers stop routing before the
+// listener closes.
 package main
 
 import (
@@ -97,6 +106,7 @@ type serveOptions struct {
 	journalFsync  string
 	snapshotEvery int
 	cacheMax      int
+	logLevel      string
 }
 
 // newServeFlags builds the serve flag set; keeping construction in one
@@ -114,7 +124,25 @@ func newServeFlags() (*flag.FlagSet, *serveOptions) {
 	fs.StringVar(&o.journalFsync, "journal-fsync", "always", "journal fsync policy: always (every append is a durability barrier) or off (OS-paced; a crash may lose the last appends, which simply re-execute)")
 	fs.IntVar(&o.snapshotEvery, "snapshot-every", 256, "completed runs between state snapshots (each snapshot rotates the journal it captured)")
 	fs.IntVar(&o.cacheMax, "cache-max-entries", 0, "LRU bound on resident setup-cache artifacts, per-rank slots (0 = unbounded)")
+	fs.StringVar(&o.logLevel, "log-level", "info", "minimum level for the structured key=value log on stderr: debug, info, warn, error or off")
 	return fs, o
+}
+
+// parseLogLevel maps the -log-level flag to a stderr logger; "off"
+// returns nil, which every obs.Logger method treats as disabled.
+func parseLogLevel(name string) (*obs.Logger, error) {
+	levels := map[string]obs.Level{
+		"debug": obs.LevelDebug, "info": obs.LevelInfo,
+		"warn": obs.LevelWarn, "error": obs.LevelError,
+	}
+	if name == "off" {
+		return nil, nil
+	}
+	lv, ok := levels[name]
+	if !ok {
+		return nil, fmt.Errorf("-log-level must be debug, info, warn, error or off, not %q", name)
+	}
+	return obs.NewLogger(os.Stderr, lv), nil
 }
 
 // parseFsync maps the -journal-fsync policy name to the boolean the
@@ -154,18 +182,24 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	logger, err := parseLogLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
 	srv, err := service.New(service.Options{
 		Workers: o.workers, Queue: o.queue, TraceDir: o.traceDir,
 		JournalDir: o.journalDir, JournalFsync: fsync,
 		SnapshotEvery: o.snapshotEvery, CacheMaxEntries: o.cacheMax,
+		Logger: logger,
 	})
 	if err != nil {
 		return err
 	}
 	if o.journalDir != "" {
 		if stats := srv.Stats(); stats.Journal != nil {
-			fmt.Fprintf(os.Stderr, "solverd: journal %s: %d recorded runs, %d pending (sealed_tail=%v)\n",
-				o.journalDir, stats.Journal.Records, stats.Journal.Pending, stats.Journal.SealedTail)
+			logger.Info("journal restored", "dir", o.journalDir,
+				"records", stats.Journal.Records, "pending", stats.Journal.Pending,
+				"sealed_tail", stats.Journal.SealedTail)
 		}
 	}
 	handler := http.Handler(srv.Handler())
@@ -178,16 +212,20 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "solverd: serving repro-solve/v1 on %s\n", ln.Addr())
+	logger.Info("serving", "proto", service.Schema, "addr", ln.Addr().String(),
+		"workers", srv.Stats().Workers)
 
-	// Graceful shutdown: stop accepting, drain in-flight solves, exit.
-	// idle carries whether the drain completed within the deadline.
+	// Graceful shutdown: flip readiness, stop accepting, drain in-flight
+	// solves, exit. idle carries whether the drain beat the deadline.
 	idle := make(chan bool, 1)
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		fmt.Fprintf(os.Stderr, "solverd: draining in-flight solves (deadline %s)...\n", o.drain)
+		// Readiness drops first so load balancers stop routing here
+		// while the listener finishes what it already accepted.
+		srv.SetDraining(true)
+		logger.Info("draining in-flight solves", "deadline", o.drain)
 		ctx, cancel := context.WithTimeout(context.Background(), o.drain)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
@@ -196,7 +234,7 @@ func runServe(args []string) error {
 			// nothing — and skip the pool drain below, which would
 			// otherwise execute every queued run of the requests just
 			// cut.
-			fmt.Fprintf(os.Stderr, "solverd: drain deadline exceeded, cutting remaining requests (%v)\n", err)
+			logger.Warn("drain deadline exceeded, cutting remaining requests", "err", err)
 			hs.Close()
 			idle <- false
 			return
@@ -207,11 +245,11 @@ func runServe(args []string) error {
 		return err
 	}
 	if drained := <-idle; !drained {
-		fmt.Fprintln(os.Stderr, "solverd: cut, bye")
+		logger.Info("shutdown complete", "drained", false)
 		return nil
 	}
 	srv.Close()
-	fmt.Fprintln(os.Stderr, "solverd: drained, bye")
+	logger.Info("shutdown complete", "drained", true)
 	return nil
 }
 

@@ -1,0 +1,103 @@
+// Command traceq is the trace-analytics CLI over repro-trace/v1: it
+// loads a directory of per-run trace files (written by `campaign
+// -trace DIR` or solverd's per-request tracing) and renders the
+// span-based phase attribution report — where virtual time goes per
+// solver, the ftgmres-vs-gmres phase deltas, the fault-to-recovery
+// latency distribution, and the discard ordinal histogram — as
+// deterministic Markdown plus a full-precision CSV. Like `campaign
+// report`, the output is a pure function of the trace files:
+// byte-identical across reruns and across the worker counts that
+// produced the traces.
+//
+// Common invocations:
+//
+//	traceq traces                                  # Markdown to stdout
+//	traceq -csv report.csv traces                  # plus the full-precision CSV (-md FILE writes the Markdown)
+//
+// Run `traceq -h` for the flag set — a test pins every usage snippet
+// in this comment, the README and docs/OBSERVABILITY.md against the
+// flags the program actually parses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/traceq"
+)
+
+// options carries the traceq flags; newFlags is the single source of
+// truth the help text and the usage-snippet test derive from.
+type options struct {
+	md  string
+	csv string
+}
+
+// newFlags builds the flag set. Keeping construction in one function
+// is what lets main_test.go verify that every documented invocation
+// parses.
+func newFlags() (*flag.FlagSet, *options) {
+	o := &options{}
+	fs := flag.NewFlagSet("traceq", flag.ContinueOnError)
+	fs.StringVar(&o.md, "md", "", "write the Markdown report here (default stdout)")
+	fs.StringVar(&o.csv, "csv", "", "also write the per-run/per-cell CSV table here")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: traceq [flags] TRACEDIR\n\n")
+		fmt.Fprintf(fs.Output(), "Reduces every *.trace.jsonl under TRACEDIR into the span-based phase\n")
+		fmt.Fprintf(fs.Output(), "attribution report: virtual-time share per phase by solver, ftgmres\n")
+		fmt.Fprintf(fs.Output(), "vs gmres deltas, fault-to-recovery latencies, and the discard ordinal\n")
+		fmt.Fprintf(fs.Output(), "histogram. Deterministic Markdown, full precision in the CSV.\n\n")
+		fs.PrintDefaults()
+	}
+	return fs, o
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "traceq:", strings.TrimPrefix(err.Error(), "traceq: "))
+		os.Exit(1)
+	}
+}
+
+// run parses flags, loads the trace directory, and writes the report.
+func run(args []string, w *os.File) error {
+	fs, o := newFlags()
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need exactly one trace directory, got %d arguments", fs.NArg())
+	}
+	a, err := traceq.LoadDir(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep := traceq.BuildReport(a)
+	if o.md == "" {
+		if _, err := w.Write(rep.Markdown); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(o.md, rep.Markdown, 0o644); err != nil {
+		return err
+	}
+	if o.csv != "" {
+		if err := os.WriteFile(o.csv, rep.CSV, 0o644); err != nil {
+			return err
+		}
+	}
+	if o.md != "" {
+		fmt.Fprintf(w, "traceq: %d runs -> %s", len(a.Runs), o.md)
+		if o.csv != "" {
+			fmt.Fprintf(w, " + %s", o.csv)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

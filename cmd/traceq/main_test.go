@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/usagecheck"
+)
+
+// TestDocumentedInvocationsParse pins every traceq snippet in this
+// command's doc comment, the README and the docs against the real flag
+// set, so the usage text cannot drift from the flags main parses (see
+// cmd/campaign for the same pattern).
+func TestDocumentedInvocationsParse(t *testing.T) {
+	mk := func() *flag.FlagSet { fs, _ := newFlags(); return fs }
+	sources := []string{"main.go", "../../README.md", "../../docs/OBSERVABILITY.md", "../../docs/ARCHITECTURE.md"}
+	seen := 0
+	for _, path := range sources {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		text := string(data)
+		seen += len(usagecheck.Snippets(text, "traceq"))
+		for _, p := range usagecheck.Verify(text, "traceq", mk) {
+			t.Errorf("%s: %s", path, p)
+		}
+	}
+	if seen == 0 {
+		t.Error("no documented traceq invocations found — the drift test is checking nothing")
+	}
+}
+
+// TestDefaultsAreSane guards the values the doc comment advertises.
+func TestDefaultsAreSane(t *testing.T) {
+	fs, o := newFlags()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.md != "" || o.csv != "" {
+		t.Errorf("defaults drifted: %+v", o)
+	}
+}
+
+// traceSpec is a small grid that exercises every report section: both
+// solvers on the same cells (phase deltas), bitflips on ftgmres
+// (discards), and rank kills (recovery latencies).
+func traceSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:     "traceq-test",
+		Seed:     11,
+		Solvers:  []string{campaign.SolverGMRES, campaign.SolverFTGMRES},
+		Preconds: []string{campaign.PrecondBJILU},
+		Problems: []string{campaign.ProblemPoisson},
+		Ranks:    []int{2},
+		Faults: []campaign.FaultSpec{
+			{Model: campaign.FaultBitflip, Rate: 5e-3},
+			{Model: campaign.FaultRankKill, MTBF: 15},
+		},
+		Replicates:  2,
+		Grid:        8,
+		Tol:         1e-6,
+		MaxIter:     300,
+		MaxRestarts: 6,
+	}
+}
+
+// runCampaignTraces executes the test spec with the given worker count
+// and returns the trace directory.
+func runCampaignTraces(t *testing.T, workers int) string {
+	t.Helper()
+	dir := t.TempDir()
+	traces := filepath.Join(dir, "traces")
+	_, err := campaign.Run(campaign.Options{
+		Spec: traceSpec(), Out: filepath.Join(dir, "runs.jsonl"),
+		Workers: workers, TraceDir: traces,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traces
+}
+
+// renderReport runs the CLI over a trace directory and returns the
+// Markdown and CSV bytes.
+func renderReport(t *testing.T, traces string) ([]byte, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	md := filepath.Join(dir, "report.md")
+	csv := filepath.Join(dir, "report.csv")
+	sink, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	if err := run([]string{"-md", md, "-csv", csv, traces}, sink); err != nil {
+		t.Fatal(err)
+	}
+	m, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, c
+}
+
+// TestReportByteDeterminism is the acceptance pin: traceq over the
+// same campaign's traces is byte-identical across reruns AND across
+// the worker counts that produced the traces, and the report's
+// headline sections all carry data from a real solver run.
+func TestReportByteDeterminism(t *testing.T) {
+	traces1 := runCampaignTraces(t, 1)
+	traces4 := runCampaignTraces(t, 4)
+
+	m1, c1 := renderReport(t, traces1)
+	m1b, c1b := renderReport(t, traces1)
+	if !bytes.Equal(m1, m1b) || !bytes.Equal(c1, c1b) {
+		t.Error("traceq output differs across reruns over the same traces")
+	}
+	m4, c4 := renderReport(t, traces4)
+	if !bytes.Equal(m1, m4) || !bytes.Equal(c1, c4) {
+		t.Error("traceq output differs across the worker counts that produced the traces")
+	}
+
+	for _, want := range []string{
+		"## Phase attribution by solver",
+		"| gmres |", "| ftgmres |",
+		"## ftgmres vs gmres: phase deltas",
+		"## Fault-to-recovery latency",
+		"## Discard ordinal histogram",
+	} {
+		if !bytes.Contains(m1, []byte(want)) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if bytes.Contains(m1, []byte("No (ftgmres, gmres) cell pairs")) {
+		t.Error("delta section found no pairs despite paired cells in the spec")
+	}
+	if bytes.Contains(m1, []byte("No global restarts")) {
+		t.Error("recovery section empty despite rank-kill cells")
+	}
+}
+
+// TestErrorOnMissingDir pins the CLI's failure mode for a mistyped
+// path.
+func TestErrorOnMissingDir(t *testing.T) {
+	sink, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	if err := run([]string{t.TempDir()}, sink); err == nil {
+		t.Error("empty trace directory did not error")
+	}
+}

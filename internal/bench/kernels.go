@@ -43,6 +43,7 @@ func Kernels() []Kernel {
 		{Name: "kernel/precond-bjacobi-apply-p4", Setup: bjacobiApplyKernel},
 		{Name: "kernel/precond-chebyshev-apply-p4", Setup: chebyshevApplyKernel},
 		{Name: "kernel/obs-disabled-telemetry", Setup: obsDisabledKernel},
+		{Name: "kernel/obs-disabled-span", Setup: obsDisabledSpanKernel},
 		{Name: "kernel/obs-enabled-metrics", Setup: obsEnabledKernel},
 	}
 }
@@ -325,6 +326,22 @@ func obsDisabledKernel() (func(n int), func()) {
 			if tr.Enabled() {
 				tr.Emit(0, float64(i), "iteration", 0, i, 0, "")
 			}
+		}
+	}, func() {}
+}
+
+// obsDisabledSpanKernel measures the disabled-span path: the nil
+// tracer's StartSpan/End pair plus a direct EmitSpan — the phase
+// attribution hooks an instrumented solve calls in every inner loop.
+// Spans are plain values, so with a nil tracer one op must be exactly
+// 0 allocs (the gate in TestObsKernelsAllocationFree pins it).
+func obsDisabledSpanKernel() (func(n int), func()) {
+	var tr *obs.RunTracer
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			sp := tr.StartSpan(0, 1, obs.PhaseSpMV, float64(i))
+			sp.End(float64(i + 1))
+			tr.EmitSpan(0, float64(i), float64(i+1), 1, obs.PhaseAllreduce)
 		}
 	}, func() {}
 }

@@ -368,6 +368,18 @@ func buildPrecond(c *comm.Comm, name string, p Problem, trusted dist.Operator, e
 // here, so every factorisation of one (problem, grid, ranks, precond)
 // identity shares one cache entry.
 func setupWithCache(c *comm.Comm, m precond.Preconditioner, env *ExecEnv, key SetupKey, tc *traceCtx) error {
+	start := c.SpanStart()
+	if err := setupUncachedOrAdopt(c, m, env, key, tc); err != nil {
+		return err
+	}
+	c.SpanEnd(obs.PhasePrecondSetup, start)
+	return nil
+}
+
+// setupUncachedOrAdopt is setupWithCache's body, split out so the
+// precond-setup span covers every path — adopt, fresh Setup, and the
+// uncacheable fallback — with one start/end pair.
+func setupUncachedOrAdopt(c *comm.Comm, m precond.Preconditioner, env *ExecEnv, key SetupKey, tc *traceCtx) error {
 	if env != nil && env.Setups != nil {
 		if ca, ok := m.(precond.Cacheable); ok {
 			if art := env.Setups.Lookup(key, c.Rank()); art != nil {
@@ -461,7 +473,11 @@ type attemptState struct {
 // runRank is the SPMD body of one solve attempt: assemble the env for
 // this rank (fault wiring included) and dispatch the cell's Runner.
 func runRank(c *comm.Comm, spec *Spec, cell Cell, p Problem, seed uint64, att *attemptState, xe *ExecEnv, attempt int, tc *traceCtx) error {
+	assemble := c.SpanStart()
 	trusted := dist.NewCSR(c, p.A)
+	// Assembly is replicated and communication-free in this model, so the
+	// span is an honest zero-width marker on the timeline.
+	c.SpanEnd(obs.PhaseAssemble, assemble)
 	var op dist.Operator = trusted
 	var kill *killSchedule
 
@@ -626,6 +642,16 @@ func ExecuteRunEnv(spec *Spec, cell Cell, rep int, env *ExecEnv) Record {
 			cfg.OnFailure = func(rank int, vt float64) {
 				tc.emit(rank, vt, "rank_kill", 0, 0, "mtbf strike")
 			}
+			// Phase spans are recorded from rank 0 only: the solves are
+			// SPMD-symmetric, so one rank's attribution is representative,
+			// and the filter keeps trace volume linear in iterations
+			// rather than in iterations × ranks.
+			cfg.OnSpan = func(rank int, phase string, start, end float64) {
+				if rank != 0 {
+					return
+				}
+				tc.emitSpan(rank, start, end, phase)
+			}
 		}
 		err := comm.Run(cfg, func(c *comm.Comm) error {
 			return runRank(c, spec, cell, p, aseed, att, env, attempt, tc)
@@ -638,6 +664,10 @@ func ExecuteRunEnv(spec *Spec, cell Cell, rep int, env *ExecEnv) Record {
 				}
 				tc.emit(-1, lost, "attempt_end", 0, 0, "rank-failure")
 				tc.emit(-1, lost, "restart", 0, 0, "global restart")
+				// The recovery span re-labels the whole lost attempt on
+				// the harness stream: analytics read it as the
+				// fault-to-recovery latency the restart policy charged.
+				tc.emitSpan(-1, 0, lost, obs.PhaseRestartRecovery)
 				if att.death > 0 {
 					vtime += att.death // work lost to the failure
 				}

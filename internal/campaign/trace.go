@@ -36,6 +36,15 @@ func (tc *traceCtx) emit(rank int, clock float64, name string, iter int, value f
 	tc.tr.Emit(rank, tc.base+clock, name, tc.attempt, iter, value, detail)
 }
 
+// emitSpan records one phase span whose attempt-local interval is
+// [start, end], offset to run time like every other event.
+func (tc *traceCtx) emitSpan(rank int, start, end float64, phase string) {
+	if !tc.enabled() {
+		return
+	}
+	tc.tr.EmitSpan(rank, tc.base+start, tc.base+end, tc.attempt, phase)
+}
+
 // TraceFileName maps a run key to its trace file name: path separators
 // flatten to underscores, so every run of a campaign traces into one
 // directory.
@@ -51,10 +60,21 @@ func WriteRunTrace(dir string, tr *obs.RunTracer, chrome bool) (string, error) {
 	if !tr.Enabled() {
 		return "", nil
 	}
+	return WriteRunTraceAs(dir, tr, chrome, TraceFileName(tr.Key()))
+}
+
+// WriteRunTraceAs is WriteRunTrace with an explicit file name —
+// callers that correlate traces with an external identity (the solve
+// service prefixes the request ID) choose the name; everyone else goes
+// through WriteRunTrace and the canonical TraceFileName.
+func WriteRunTraceAs(dir string, tr *obs.RunTracer, chrome bool, name string) (string, error) {
+	if !tr.Enabled() {
+		return "", nil
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, TraceFileName(tr.Key()))
+	path := filepath.Join(dir, name)
 	f, err := os.Create(path)
 	if err != nil {
 		return "", err

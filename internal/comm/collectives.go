@@ -3,6 +3,8 @@ package comm
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Op is a reduction operator for Allreduce/Reduce.
@@ -279,11 +281,16 @@ func (c *Comm) Barrier() error {
 // Allreduce combines each rank's data elementwise with op and returns the
 // combined vector to every rank. All ranks must pass equal-length slices.
 func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
+	start := c.SpanStart()
 	s, err := c.enterColl(kindAllreduce, op, 0, data)
 	if err != nil {
 		return nil, err
 	}
-	return c.waitColl(s, c.lastKey())
+	out, err := c.waitColl(s, c.lastKey())
+	if err == nil {
+		c.SpanEnd(obs.PhaseAllreduce, start)
+	}
+	return out, err
 }
 
 // AllreduceInto is Allreduce with a caller-provided result buffer (which
@@ -292,12 +299,16 @@ func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
 // loop fully allocation-free, which is what lets the Krylov hot loops
 // reach 0 allocs/iteration.
 func (c *Comm) AllreduceInto(data []float64, op Op, out []float64) error {
+	start := c.SpanStart()
 	s, err := c.enterColl(kindAllreduce, op, 0, data)
 	if err != nil {
 		return err
 	}
-	_, err = c.waitCollInto(s, c.lastKey(), out)
-	return err
+	if _, err = c.waitCollInto(s, c.lastKey(), out); err != nil {
+		return err
+	}
+	c.SpanEnd(obs.PhaseAllreduce, start)
+	return nil
 }
 
 // AllreduceScalar is Allreduce for a single value. It is allocation-free.
@@ -335,6 +346,7 @@ func (c *Comm) Allgather(data []float64) ([]float64, error) {
 // (conservatively synchronising all participants — the common MPI
 // implementation behaviour for small messages).
 func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
+	start := c.SpanStart()
 	s, err := c.enterColl(kindAllreduce, op, 0, data)
 	if err != nil {
 		return nil, err
@@ -343,6 +355,7 @@ func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.SpanEnd(obs.PhaseAllreduce, start)
 	if c.rank != root {
 		return nil, nil
 	}

@@ -64,6 +64,28 @@ func (c *Comm) Compute(flops float64) {
 // checkpointing experiment).
 func (c *Comm) AdvanceClock(seconds float64) { c.clock.Advance(seconds) }
 
+// SpanStart opens a phase span: it returns the rank's current virtual
+// clock, to be handed back to SpanEnd when the phase closes. It is a
+// pure clock read — free whether or not a span observer is attached —
+// so instrumented hot loops pay nothing when tracing is off.
+func (c *Comm) SpanStart() float64 { return c.clock.Now() }
+
+// SpanEnd closes a phase span opened at start, reporting the interval
+// [start, now] under the given phase name (the obs.Phase* catalogue) to
+// the world's Config.OnSpan observer. Without an observer it is a no-op
+// with zero allocations. Call it only on success paths: an operation
+// that failed mid-phase has no meaningful duration.
+func (c *Comm) SpanEnd(phase string, start float64) {
+	if c.world.onSpan == nil {
+		return
+	}
+	c.world.onSpan(c.rank, phase, start, c.clock.Now())
+}
+
+// SpanEnabled reports whether a span observer is attached — for callers
+// that would do per-span work beyond the SpanStart/SpanEnd pair.
+func (c *Comm) SpanEnabled() bool { return c.world.onSpan != nil }
+
 // Die marks this rank failed, waking every blocked operation in the world
 // so survivors observe the failure. It returns ErrKilled, which the
 // rank's main loop is expected to propagate out of its rank function.

@@ -1,5 +1,7 @@
 package comm
 
+import "repro/internal/obs"
+
 // Request is the handle to an in-flight non-blocking collective, the
 // MPI-3 capability the paper identifies as the enabler of Relaxed
 // Bulk-Synchronous Programming (§II-B). Between posting the operation and
@@ -44,11 +46,24 @@ func (c *Comm) IBarrier() *Request {
 
 // Wait blocks until the collective completes and returns its result
 // (nil for a barrier). It may be called once.
+//
+// The allreduce span Wait emits covers only the blocked tail — entry to
+// completion — not the in-flight window since the post: virtual time the
+// rank spent computing under the overlap is attributed to the compute
+// phases it actually ran, which is the whole point of the overlap.
 func (r *Request) Wait() ([]float64, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	return r.c.waitColl(r.s, r.key)
+	// Capture the kind before departing: the last rank out recycles the
+	// slot, so reading it after the wait would race a reusing post.
+	isAllreduce := r.s.kind == kindAllreduce
+	start := r.c.SpanStart()
+	out, err := r.c.waitColl(r.s, r.key)
+	if err == nil && isAllreduce {
+		r.c.SpanEnd(obs.PhaseAllreduce, start)
+	}
+	return out, err
 }
 
 // WaitInto blocks until the collective completes and copies its result
@@ -59,7 +74,13 @@ func (r *Request) WaitInto(out []float64) (int, error) {
 	if r.err != nil {
 		return 0, r.err
 	}
-	return r.c.waitCollInto(r.s, r.key, out)
+	isAllreduce := r.s.kind == kindAllreduce
+	start := r.c.SpanStart()
+	n, err := r.c.waitCollInto(r.s, r.key, out)
+	if err == nil && isAllreduce {
+		r.c.SpanEnd(obs.PhaseAllreduce, start)
+	}
+	return n, err
 }
 
 // Test reports whether the collective has already completed (every rank

@@ -58,6 +58,16 @@ type Config struct {
 	// tracer's rank_kill events) hangs off this hook; it does not fire for
 	// the asynchronous World.Kill, whose caller already knows the kill.
 	OnFailure func(rank int, vtime float64)
+
+	// OnSpan, if non-nil, receives one closed phase span per instrumented
+	// operation: the emitting rank, the phase name (the obs.Phase*
+	// catalogue), and the span's start/end on that rank's virtual clock.
+	// It fires on the emitting rank's goroutine, outside all world locks,
+	// after the operation completed successfully. Span observation is
+	// read-only — it never advances a clock or touches an RNG — so a
+	// world with an observer computes bit-identical results to one
+	// without. See (*Comm).SpanStart / (*Comm).SpanEnd.
+	OnSpan func(rank int, phase string, start, end float64)
 }
 
 // World is a set of simulated ranks plus the shared machinery they
@@ -83,6 +93,7 @@ type World struct {
 
 	ledger    *Ledger
 	onFailure func(rank int, vtime float64)
+	onSpan    func(rank int, phase string, start, end float64)
 	seedRNG   *machine.RNG
 	wg        sync.WaitGroup
 	errsMu    sync.Mutex
@@ -111,6 +122,7 @@ func NewWorld(cfg Config) *World {
 		colls:     make(map[collKey]*collSlot),
 		ledger:    cfg.Ledger,
 		onFailure: cfg.OnFailure,
+		onSpan:    cfg.OnSpan,
 		seedRNG:   machine.NewRNG(cfg.Seed ^ 0xda3e39cb94b95bdb),
 		errs:      make(map[int]error),
 	}

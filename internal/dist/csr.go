@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/la"
+	"repro/internal/obs"
 )
 
 // CSR is a block-row distributed sparse matrix: rank r owns the
@@ -162,6 +163,7 @@ func (m *CSR) Apply(x, y []float64) error {
 	la.CheckLen("x", x, nl)
 	la.CheckLen("y", y, nl)
 	copy(m.xbuf[:nl], x)
+	halo := m.c.SpanStart()
 	// Sends are buffered and never block, so posting all sends before
 	// any receive cannot deadlock even when every rank applies at once.
 	for _, s := range m.sends {
@@ -180,6 +182,7 @@ func (m *CSR) Apply(x, y []float64) error {
 			m.xbuf[pos] = rcv.buf[k]
 		}
 	}
+	m.c.SpanEnd(obs.PhaseHaloExchange, halo)
 	m.ApplyLocal(y)
 	return nil
 }
@@ -189,6 +192,7 @@ func (m *CSR) Apply(x, y []float64) error {
 // still valid, so a detected transient fault in the local kernel is
 // repaired without touching the network (the SKP correction path).
 func (m *CSR) ApplyLocal(y []float64) {
+	start := m.c.SpanStart()
 	nl := m.hi - m.lo
 	la.CheckLen("y", y, nl)
 	for i := 0; i < nl; i++ {
@@ -199,6 +203,7 @@ func (m *CSR) ApplyLocal(y []float64) {
 		y[i] = s
 	}
 	m.c.Compute(2 * float64(len(m.val)))
+	m.c.SpanEnd(obs.PhaseSpMV, start)
 }
 
 // XBuffer returns the live operand buffer [owned | ghosts] of the last

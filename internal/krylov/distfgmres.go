@@ -7,6 +7,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/la"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // DistFGMRES is distributed flexible GMRES(m): right-preconditioned MGS
@@ -101,6 +102,7 @@ func DistFGMRES(c *comm.Comm, a dist.Operator, precon DistPreconditioner, b, x0 
 			if err := a.Apply(zj, w); err != nil {
 				return x, st, err
 			}
+			mgs := c.SpanStart()
 			for i := 0; i <= j; i++ {
 				hij, err := dist.Dot(c, w, v[i])
 				if err != nil {
@@ -115,6 +117,7 @@ func DistFGMRES(c *comm.Comm, a dist.Operator, precon DistPreconditioner, b, x0 
 				return x, st, err
 			}
 			st.Reductions++
+			c.SpanEnd(obs.PhaseOrthogonalize, mgs)
 			if math.IsNaN(hj1) || math.IsInf(hj1, 0) {
 				j = 0
 				break

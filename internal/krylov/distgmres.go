@@ -8,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/la"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // DistGMRESOptions configures the distributed GMRES variants.
@@ -132,6 +133,7 @@ func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOpt
 			}
 			// Modified Gram–Schmidt: one blocking reduction per basis
 			// vector — the synchronisation hot spot.
+			mgs := c.SpanStart()
 			for i := 0; i <= j; i++ {
 				hij, err := dist.Dot(c, w, v[i])
 				if err != nil {
@@ -146,6 +148,7 @@ func DistGMRES(c *comm.Comm, a dist.Operator, b, x0 []float64, opts DistGMRESOpt
 				return x, st, err
 			}
 			st.Reductions++
+			c.SpanEnd(obs.PhaseOrthogonalize, mgs)
 			h.Set(j+1, j, hj1)
 			if hj1 > 0 {
 				copy(v[j+1], w)

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixed is a deterministic clock for log assertions.
+func fixed() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+
+// TestLoggerFormat pins the line grammar: fixed ts/level/msg prefix,
+// fields in call order, values quoted only when the key=value grammar
+// needs it.
+func TestLoggerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug).WithClock(fixed)
+	l.Info("campaign accepted", "req", "r-4f1d22ab09c3e857", "runs", 936,
+		"label", "two words", "err", errors.New("boom: x=1"),
+		"share", 0.25, "ok", true, "wait", 1500*time.Millisecond)
+
+	want := `ts=2026-08-08T12:00:00Z level=info msg="campaign accepted" req=r-4f1d22ab09c3e857 runs=936 label="two words" err="boom: x=1" share=0.25 ok=true wait=1.5s` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("log line\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestLoggerLevels: records below the minimum are dropped, at or above
+// pass, and the level name lands on the line.
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn).WithClock(fixed)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2 (warn+error):\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "level=warn msg=w") || !strings.Contains(lines[1], "level=error msg=e") {
+		t.Errorf("wrong lines passed the level gate:\n%s", buf.String())
+	}
+}
+
+// TestLoggerWith: bound fields render once, sit between msg and the
+// per-record fields, and accumulate across derivations.
+func TestLoggerWith(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).WithClock(fixed).With("req", "r-1")
+	l.With("cell", "gmres/none").Info("run completed", "iters", 42)
+	want := `ts=2026-08-08T12:00:00Z level=info msg="run completed" req=r-1 cell=gmres/none iters=42` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("bound fields\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestLoggerNilSafe: every method of the nil logger is a no-op, and
+// With/WithClock of nil stay nil — "logging disabled" needs no
+// conditionals at call sites.
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x", "k", "v")
+	l.Warn("x")
+	l.Error("x", "odd")
+	if l.With("k", "v") != nil || l.WithClock(fixed) != nil {
+		t.Error("derivations of the nil logger are not nil")
+	}
+}
+
+// TestLoggerOddKeyvals: a trailing key without a value logs as
+// k=(missing) instead of disappearing.
+func TestLoggerOddKeyvals(t *testing.T) {
+	var buf bytes.Buffer
+	NewLogger(&buf, LevelInfo).WithClock(fixed).Info("m", "orphan")
+	if !strings.Contains(buf.String(), "orphan=(missing)") {
+		t.Errorf("trailing key not marked: %q", buf.String())
+	}
+}
+
+// TestLoggerConcurrent: concurrent writers never interleave within a
+// line (each line still parses as one record).
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).WithClock(fixed)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Info("tick", "worker", n, "j", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("%d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=2026-08-08T12:00:00Z level=info msg=tick worker=") {
+			t.Fatalf("torn log line: %q", line)
+		}
+	}
+}

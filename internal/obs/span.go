@@ -1,0 +1,104 @@
+package obs
+
+// EventSpan is the Name of span events: a closed phase interval on one
+// rank's virtual timeline. A span event's T is the phase start, Dur its
+// length, and Detail the phase name from the well-known catalogue below.
+// Span events were added to repro-trace/v1 additively — the Dur field is
+// omitted when zero, so traces written before spans existed still parse.
+const EventSpan = "span"
+
+// The well-known phase catalogue: every span event's Detail is one of
+// these names. The set mirrors where a resilient Krylov solve actually
+// spends virtual time — the attribution the paper's selective-reliability
+// argument needs (which phases are cheap enough to protect, which are
+// expensive enough to run unreliably).
+const (
+	// PhaseAssemble covers distributed-operator assembly: building the
+	// rank's CSR slab and scattering the right-hand side. Assembly is
+	// replicated and communication-free in this model, so its spans are
+	// honest zero-width markers.
+	PhaseAssemble = "assemble"
+	// PhasePrecondSetup covers preconditioner Setup (or the equal-cost
+	// adoption of a cached artifact).
+	PhasePrecondSetup = "precond-setup"
+	// PhasePrecondApply covers one preconditioner application.
+	PhasePrecondApply = "precond-apply"
+	// PhaseSpMV covers the local sparse matrix-vector kernel.
+	PhaseSpMV = "spmv"
+	// PhaseHaloExchange covers the ghost/halo exchange preceding a
+	// distributed SpMV.
+	PhaseHaloExchange = "halo-exchange"
+	// PhaseAllreduce covers one blocking all-reduce (or the blocked tail
+	// of a non-blocking one: for overlapped reductions the span is the
+	// time the rank actually waited, not the in-flight window).
+	PhaseAllreduce = "allreduce"
+	// PhaseOrthogonalize covers one modified Gram-Schmidt pass: the
+	// projection dots, the subtraction axpys and the closing norm.
+	PhaseOrthogonalize = "orthogonalize"
+	// PhaseSanitize covers FT-GMRES's reliable analyse-and-discard step
+	// over an unreliable inner solve's result (paper §III-D).
+	PhaseSanitize = "sanitize"
+	// PhaseRestartRecovery covers the virtual time a global restart
+	// throws away: the interval from the failed attempt's start to the
+	// victim's death, emitted on the harness stream (rank -1). It
+	// overlaps the lost attempt's compute spans by construction — it
+	// re-labels lost work — so analytics report it separately from the
+	// compute phases.
+	PhaseRestartRecovery = "restart-recovery"
+)
+
+// Phases returns the well-known phase names in catalogue order.
+func Phases() []string {
+	return []string{
+		PhaseAssemble, PhasePrecondSetup, PhasePrecondApply,
+		PhaseSpMV, PhaseHaloExchange, PhaseAllreduce,
+		PhaseOrthogonalize, PhaseSanitize, PhaseRestartRecovery,
+	}
+}
+
+// EmitSpan records one closed phase span on rank's stream: the interval
+// [start, end] in run-virtual time, attributed to phase. A nil tracer
+// discards the span for free — same contract as Emit.
+func (t *RunTracer) EmitSpan(rank int, start, end float64, attempt int, phase string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	seq := t.seq[rank]
+	t.seq[rank] = seq + 1
+	t.events = append(t.events, Event{
+		T: start, Rank: rank, Seq: seq, Name: EventSpan,
+		Attempt: attempt, Dur: end - start, Detail: phase,
+	})
+	t.mu.Unlock()
+}
+
+// Span is an open phase interval handed out by StartSpan. It is a plain
+// value — no allocation, safe to keep on the stack of a hot loop — and
+// the Span of a nil tracer is the zero Span, whose End is a no-op. A
+// Span is used by the goroutine that started it.
+type Span struct {
+	tr      *RunTracer
+	rank    int
+	attempt int
+	phase   string
+	start   float64
+}
+
+// StartSpan opens a phase span on rank's stream at virtual time vt.
+// Close it with End. On a nil tracer it returns the zero Span for free.
+func (t *RunTracer) StartSpan(rank, attempt int, phase string, vt float64) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, rank: rank, attempt: attempt, phase: phase, start: vt}
+}
+
+// End closes the span at virtual time vt, emitting the span event. The
+// zero Span (from a nil tracer) discards the call for free.
+func (s Span) End(vt float64) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.EmitSpan(s.rank, s.start, vt, s.attempt, s.phase)
+}

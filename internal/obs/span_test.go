@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSpanRoundTrip pins the span wire contract: EmitSpan and
+// StartSpan/End write span events whose T is the start, Dur the
+// length and Detail the phase, and a WriteJSONL/ReadTrace round trip
+// preserves them exactly.
+func TestSpanRoundTrip(t *testing.T) {
+	tr := NewRunTracer("k", 7)
+	tr.EmitSpan(0, 1.5, 4.0, 2, PhaseSpMV)
+	sp := tr.StartSpan(1, 3, PhaseAllreduce, 10)
+	sp.End(12.5)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != "k" || got.Seed != 7 {
+		t.Errorf("identity %q/%d, want k/7", got.Key, got.Seed)
+	}
+	want := []Event{
+		{T: 1.5, Rank: 0, Seq: 0, Name: EventSpan, Attempt: 2, Dur: 2.5, Detail: PhaseSpMV},
+		{T: 10, Rank: 1, Seq: 0, Name: EventSpan, Attempt: 3, Dur: 2.5, Detail: PhaseAllreduce},
+	}
+	if len(got.Events) != len(want) {
+		t.Fatalf("%d events, want %d", len(got.Events), len(want))
+	}
+	for i, ev := range got.Events {
+		if ev != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
+// TestSpanOrderingWithPointEvents: span events sort into the export
+// order by their start time, interleaved with point events on the same
+// stream, and per-rank Seq stays strictly increasing across both kinds.
+func TestSpanOrderingWithPointEvents(t *testing.T) {
+	tr := NewRunTracer("k", 1)
+	tr.Emit(0, 5, "iter", 1, 3, 0.5, "")
+	tr.EmitSpan(0, 2, 6, 1, PhasePrecondApply) // starts before the iter event
+	tr.Emit(0, 2, "fault", 1, 0, 0, "bitflip")
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d events", len(evs))
+	}
+	// (T, Rank, Seq): T=2 twice (Seq 1 then 2, emission order), then T=5.
+	if evs[0].Name != EventSpan || evs[0].T != 2 {
+		t.Errorf("first event %+v, want the span at its start time", evs[0])
+	}
+	if evs[1].Name != "fault" || evs[2].Name != "iter" {
+		t.Errorf("order %q, %q after span", evs[1].Name, evs[2].Name)
+	}
+	for i := 1; i < len(evs); i++ {
+		a, b := evs[i-1], evs[i]
+		if a.Rank == b.Rank && a.Seq >= b.Seq && a.T == b.T {
+			t.Errorf("Seq not increasing at same (T, Rank): %+v then %+v", a, b)
+		}
+	}
+}
+
+// TestNilTracerSpansAreNoOps: the nil tracer's span surface is free
+// and safe — EmitSpan discards, StartSpan returns the zero Span, and
+// the zero Span's End does nothing.
+func TestNilTracerSpansAreNoOps(t *testing.T) {
+	var tr *RunTracer
+	tr.EmitSpan(0, 0, 1, 1, PhaseSpMV)
+	sp := tr.StartSpan(0, 1, PhaseAllreduce, 0)
+	if sp != (Span{}) {
+		t.Errorf("nil tracer StartSpan returned %+v, want the zero Span", sp)
+	}
+	sp.End(1)
+	if evs := tr.Events(); evs != nil {
+		t.Errorf("nil tracer holds events: %v", evs)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		s := tr.StartSpan(0, 1, PhaseSpMV, 0)
+		s.End(1)
+		tr.EmitSpan(1, 0, 1, 1, PhaseHaloExchange)
+	}); n != 0 {
+		t.Errorf("disabled span path allocates %g per op, want 0", n)
+	}
+}
+
+// TestPhaseCatalogue pins the well-known phase set: Phases() returns
+// every constant exactly once, in catalogue order, with
+// restart-recovery last (analytics treat it separately).
+func TestPhaseCatalogue(t *testing.T) {
+	ps := Phases()
+	want := []string{
+		PhaseAssemble, PhasePrecondSetup, PhasePrecondApply,
+		PhaseSpMV, PhaseHaloExchange, PhaseAllreduce,
+		PhaseOrthogonalize, PhaseSanitize, PhaseRestartRecovery,
+	}
+	if len(ps) != len(want) {
+		t.Fatalf("%d phases, want %d", len(ps), len(want))
+	}
+	seen := map[string]bool{}
+	for i, p := range ps {
+		if p != want[i] {
+			t.Errorf("phase %d = %q, want %q", i, p, want[i])
+		}
+		if seen[p] {
+			t.Errorf("duplicate phase %q", p)
+		}
+		seen[p] = true
+	}
+	if ps[len(ps)-1] != PhaseRestartRecovery {
+		t.Error("restart-recovery is not last in the catalogue")
+	}
+}

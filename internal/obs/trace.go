@@ -28,7 +28,8 @@ type Event struct {
 	Seq  int     `json:"seq"`
 	// Name identifies the event: run_begin, attempt_begin, iteration,
 	// fault_inject, rank_kill, restart, recovery, discard,
-	// setup_cache_hit, setup_cache_miss, attempt_end, run_end.
+	// setup_cache_hit, setup_cache_miss, attempt_end, run_end, or span
+	// (a closed phase interval — see EventSpan).
 	Name string `json:"name"`
 	// Attempt is the global-restart attempt the event belongs to.
 	Attempt int `json:"attempt"`
@@ -37,7 +38,12 @@ type Event struct {
 	// Value carries the event's scalar: an iteration's relative
 	// residual, a fault_inject's flip count, an attempt_end's outcome.
 	Value float64 `json:"value,omitempty"`
-	// Detail is a short human-readable qualifier.
+	// Dur is the length of a span event's interval (see EventSpan); zero
+	// — and omitted — for point events, which keeps the added field
+	// invisible in pre-span traces.
+	Dur float64 `json:"dur,omitempty"`
+	// Detail is a short human-readable qualifier; for span events it is
+	// the phase name.
 	Detail string `json:"detail,omitempty"`
 }
 
@@ -151,6 +157,7 @@ type chromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
@@ -185,6 +192,10 @@ func (t *RunTracer) WriteChromeTrace(w io.Writer) error {
 			ce.Name, ce.Ph = "attempt", "B"
 		case "attempt_end":
 			ce.Name, ce.Ph = "attempt", "E"
+		case EventSpan:
+			// Phase spans become complete ("X") events so viewers draw
+			// them as nested duration boxes on the rank's track.
+			ce.Name, ce.Ph, ce.Dur = ev.Detail, "X", ev.Dur*1e6
 		default:
 			ce.Ph, ce.S = "i", "t"
 		}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/la"
+	"repro/internal/obs"
 )
 
 // BlockJacobi is the per-rank block-Jacobi preconditioner: rank r
@@ -134,6 +135,7 @@ func (b *BlockJacobi) ApplyInto(r, z []float64) error {
 	if !b.setup {
 		return ErrNotSetup
 	}
+	start := b.c.SpanStart()
 	la.CheckLen("r", r, b.n)
 	la.CheckLen("z", z, b.n)
 	y := b.y
@@ -152,6 +154,7 @@ func (b *BlockJacobi) ApplyInto(r, z []float64) error {
 		z[i] = s / b.val[b.diagPtr[i]]
 	}
 	b.c.Compute(b.Flops())
+	b.c.SpanEnd(obs.PhasePrecondApply, start)
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/la"
+	"repro/internal/obs"
 )
 
 // Chebyshev is the fixed-degree Chebyshev polynomial preconditioner for
@@ -63,6 +64,7 @@ func (ch *Chebyshev) ApplyInto(r, z []float64) error {
 	if ch.r == nil {
 		return ErrNotSetup
 	}
+	start := ch.c.SpanStart()
 	n := ch.a.LocalLen()
 	la.CheckLen("r", r, n)
 	la.CheckLen("z", z, n)
@@ -99,6 +101,7 @@ func (ch *Chebyshev) ApplyInto(r, z []float64) error {
 		ch.c.Compute(3 * float64(n))
 		rho = rhoNew
 	}
+	ch.c.SpanEnd(obs.PhasePrecondApply, start)
 	return nil
 }
 

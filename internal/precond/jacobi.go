@@ -6,6 +6,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dist"
 	"repro/internal/la"
+	"repro/internal/obs"
 )
 
 // Jacobi is diagonal scaling z_i = r_i / a_ii over this rank's slab:
@@ -58,12 +59,14 @@ func (j *Jacobi) ApplyInto(r, z []float64) error {
 	if j.inv == nil {
 		return ErrNotSetup
 	}
+	start := j.c.SpanStart()
 	la.CheckLen("r", r, len(j.inv))
 	la.CheckLen("z", z, len(j.inv))
 	for i := range r {
 		z[i] = r[i] * j.inv[i]
 	}
 	j.c.Compute(j.Flops())
+	j.c.SpanEnd(obs.PhasePrecondApply, start)
 	return nil
 }
 

@@ -37,6 +37,10 @@ type JournalEntry struct {
 	// ID is the run identity (accept/run): the run key, derived seed
 	// and solve parameters that make two requests the same run.
 	ID string `json:"id,omitempty"`
+	// Req is the request correlation ID (accept/run) — the same
+	// RequestID the SSE frames, trace files and log lines carry, so a
+	// journal line joins against every other signal of its run.
+	Req string `json:"req,omitempty"`
 	// Record is the completed run's result (kind "run").
 	Record *campaign.Record `json:"record,omitempty"`
 	// Digest identifies an admitted campaign (kind "campaign"): a hash
@@ -437,18 +441,18 @@ func (d *durable) lookup(id string) (campaign.Record, bool) {
 	return rec, ok
 }
 
-// accept journals one scheduled run.
-func (d *durable) accept(id string) {
+// accept journals one scheduled run under its correlation ID.
+func (d *durable) accept(id, req string) {
 	d.mu.Lock()
 	d.pending[id] = true
 	d.mu.Unlock()
-	d.append(JournalEntry{Kind: "accept", ID: id})
+	d.append(JournalEntry{Kind: "accept", ID: id, Req: req})
 }
 
 // record journals one completed run and triggers the periodic
 // snapshot.
-func (d *durable) record(id string, rec campaign.Record) {
-	d.append(JournalEntry{Kind: "run", ID: id, Record: &rec})
+func (d *durable) record(id, req string, rec campaign.Record) {
+	d.append(JournalEntry{Kind: "run", ID: id, Req: req, Record: &rec})
 	var snap *Snapshot
 	d.mu.Lock()
 	d.records[id] = rec

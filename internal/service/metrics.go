@@ -2,6 +2,7 @@ package service
 
 import (
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/obs"
@@ -108,6 +109,48 @@ func (s *Server) initMetrics() {
 	r.CounterFunc("repro_snapshot_writes_total",
 		"State snapshots written (each rotates the journal it captured).",
 		journalStat(func(js JournalStats) int64 { return js.Snapshots }))
+
+	// Build identity: the Prometheus info-metric idiom — constant 1,
+	// with the identity in the labels, so a dashboard joins any series
+	// against the version that produced it.
+	bi := ReadBuildInfo()
+	r.GaugeFunc("repro_build_info",
+		"Build identity of the running binary (constant 1; the value is in the labels).",
+		func() float64 { return 1 },
+		obs.Label{Key: "version", Value: bi.Version},
+		obs.Label{Key: "revision", Value: bi.Revision})
+}
+
+// BuildInfo is the binary's build identity, surfaced on /metrics as
+// repro_build_info and on /stats as the build field.
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for a plain
+	// go build / go test binary).
+	Version string `json:"version"`
+	// Revision is the VCS revision the binary was built from, empty
+	// when the build carried no VCS stamp (module cache, vendored).
+	Revision string `json:"revision,omitempty"`
+}
+
+// ReadBuildInfo samples the running binary's build identity from the
+// runtime's embedded build information. It never fails: a binary
+// without build info (unusual outside tests) reports version
+// "unknown".
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			bi.Revision = s.Value
+		}
+	}
+	return bi
 }
 
 // route registers one endpoint on the mux behind a request counter, so

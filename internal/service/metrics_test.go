@@ -122,8 +122,9 @@ func TestMetricsEndpointReconcilesWithStats(t *testing.T) {
 }
 
 // TestServerTraceDir: a server with a trace directory persists one
-// repro-trace/v1 file per executed run, named after the run key, and
-// the traced record stays byte-identical to direct execution.
+// repro-trace/v1 file per executed run, named by the request
+// correlation ID plus the run key, and the traced record stays
+// byte-identical to direct execution.
 func TestServerTraceDir(t *testing.T) {
 	dir := t.TempDir()
 	_, cl, done := newTestServer(t, Options{Workers: 1, TraceDir: dir})
@@ -140,7 +141,7 @@ func TestServerTraceDir(t *testing.T) {
 		t.Errorf("traced served record differs from direct execution:\n%s\n%s", gb, wb)
 	}
 
-	path := filepath.Join(dir, campaign.TraceFileName(cell.RunKey(req.Rep)))
+	path := filepath.Join(dir, TraceName(RequestID(&req), cell.RunKey(req.Rep)))
 	f, err := os.Open(path)
 	if err != nil {
 		t.Fatalf("missing trace file: %v", err)

@@ -1,0 +1,38 @@
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/campaign"
+)
+
+// RequestID derives the correlation ID of one solve request: "r-" plus
+// the 16-hex-digit FNV-64a hash of the run identity (run key, derived
+// seed, solve parameters). The ID is deterministic by design — the
+// same run requested twice, or replayed from the journal after a
+// restart, carries the same ID — so SSE frames, journal entries, trace
+// files and log lines correlate across process lifetimes without any
+// shared state.
+func RequestID(req *SolveRequest) string {
+	h := fnv.New64a()
+	io.WriteString(h, runIdentity(req))
+	return fmt.Sprintf("r-%016x", h.Sum64())
+}
+
+// TraceName is the file name of one served run's trace: the request
+// correlation ID, an underscore, then the campaign engine's canonical
+// TraceFileName — so `ls tracedir/r-<id>_*` finds a request's trace
+// and the suffix still parses as a run-key trace name.
+func TraceName(reqID, runKey string) string {
+	return reqID + "_" + campaign.TraceFileName(runKey)
+}
+
+// CampaignRequestID derives the correlation ID of one campaign
+// request: "c-" plus the digest of its spec and shard selector — the
+// same digest the journal's campaign cursor uses, so the NDJSON
+// summary, the journal and the logs all name the campaign identically.
+func CampaignRequestID(spec *campaign.Spec, shard, shards int) string {
+	return "c-" + campaignDigest(spec, shard, shards)
+}

@@ -123,6 +123,10 @@ func (r *SolveRequest) Validate() error {
 type SolveResponse struct {
 	// Schema is "repro-solve/v1".
 	Schema string `json:"schema"`
+	// RequestID is the deterministic correlation ID of the request
+	// (see RequestID) — the same value the SSE id: lines, journal
+	// entries, trace file names and server log lines carry.
+	RequestID string `json:"req,omitempty"`
 	// Record is the run's result, exactly as local campaign execution
 	// would have recorded it.
 	Record campaign.Record `json:"record"`
@@ -167,6 +171,9 @@ type CampaignRequest struct {
 type CampaignSummary struct {
 	// Schema is "repro-solve/v1-campaign-summary".
 	Schema string `json:"schema"`
+	// RequestID is the campaign's correlation ID ("c-" + the spec/shard
+	// digest the journal's campaign cursor uses).
+	RequestID string `json:"req,omitempty"`
 	// Cells and Runs count the shard's grid; Errored counts records
 	// that carried a harness error.
 	Cells   int `json:"cells"`

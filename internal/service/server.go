@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
@@ -48,6 +49,11 @@ type Options struct {
 	// JournalDir, which still locates the snapshot and journal for
 	// state loading.
 	JournalSink JournalSink
+	// Logger receives the server's structured log lines (request
+	// admission, run completion, campaign lifecycle), every one carrying
+	// the req= correlation ID. Nil disables logging — the obs.Logger
+	// no-ops on nil, so the server never checks.
+	Logger *obs.Logger
 }
 
 // Server is the solve service: an http.Handler exposing the
@@ -62,6 +68,11 @@ type Server struct {
 	durable  *durable
 	mux      *http.ServeMux
 	start    time.Time
+	log      *obs.Logger
+
+	// draining flips /readyz to 503 while the server finishes queued
+	// work; /healthz keeps answering 200 (the process is alive).
+	draining atomic.Bool
 
 	// The metric surface (see metrics.go): endpoint request counters,
 	// queue-wait/execute latency histograms, and bridges sampling the
@@ -102,6 +113,7 @@ func New(opts Options) (*Server, error) {
 		start:     time.Now(),
 		endpoints: make(map[string]*obs.Counter),
 		perSolver: make(map[string]int64),
+		log:       opts.Logger,
 	}
 	if opts.CacheMaxEntries > 0 {
 		s.cache.SetMaxEntries(opts.CacheMaxEntries)
@@ -116,6 +128,7 @@ func New(opts Options) (*Server, error) {
 	}
 	s.initMetrics()
 	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /readyz", "readyz", s.handleReadyz)
 	s.route("GET /stats", "stats", s.handleStats)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	s.route("POST /v1/solve", "solve", s.handleSolve)
@@ -149,12 +162,51 @@ type HealthzResponse struct {
 	OK bool `json:"ok"`
 }
 
+// ReadyzResponse is the body of GET /readyz. Liveness and readiness
+// are deliberately separate endpoints: /healthz answers 200 for as
+// long as the process runs (don't restart me), while /readyz flips to
+// 503 the moment draining starts (stop sending me traffic) even though
+// queued runs are still finishing.
+type ReadyzResponse struct {
+	// Schema is "repro-solve/v1".
+	Schema string `json:"schema"`
+	// Ready is true while the server accepts new work.
+	Ready bool `json:"ready"`
+	// Draining is true once SetDraining(true) was called: the server is
+	// finishing queued runs and refusing new ones.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// SetDraining flips the readiness signal. The serve loop calls it with
+// true when shutdown begins, before http.Server.Shutdown, so load
+// balancers and probes stop routing to a server that is finishing its
+// queue.
+func (s *Server) SetDraining(v bool) {
+	if s.draining.Swap(v) != v {
+		s.log.Info("readiness changed", "draining", v)
+	}
+}
+
+// Draining reports the current readiness signal.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyzResponse{Schema: Schema, Ready: false, Draining: true})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyzResponse{Schema: Schema, Ready: true})
+}
+
 // StatsResponse is the body of GET /stats — the same counters
 // GET /metrics exposes in Prometheus text format (the canonical scrape
 // surface), as one JSON object for humans and the typed Client.
 type StatsResponse struct {
 	// Schema is "repro-solve/v1".
 	Schema string `json:"schema"`
+	// Build is the binary's build identity — the same values
+	// repro_build_info exposes as labels on /metrics.
+	Build BuildInfo `json:"build"`
 	// UptimeSec is seconds since the server started.
 	UptimeSec float64 `json:"uptime_sec"`
 	// Workers and QueueDepth describe the pool: fixed worker count,
@@ -195,6 +247,7 @@ func (s *Server) Stats() StatsResponse {
 	s.mu.Lock()
 	resp := StatsResponse{
 		Schema:     Schema,
+		Build:      ReadBuildInfo(),
 		UptimeSec:  time.Since(s.start).Seconds(),
 		Workers:    s.workers,
 		QueueDepth: s.pool.depth(),
@@ -227,6 +280,7 @@ func (s *Server) Stats() StatsResponse {
 // has a trace directory, the run's timeline is recorded and persisted
 // alongside.
 func (s *Server) execute(req *SolveRequest, progress func(attempt, iter int, relres float64), discard func(attempt, solve int)) campaign.Record {
+	reqID := RequestID(req)
 	spec, cell := req.SpecCell()
 	env := s.cache.Env(progress)
 	env.Discards = discard
@@ -234,16 +288,26 @@ func (s *Server) execute(req *SolveRequest, progress func(attempt, iter int, rel
 		env.Tracer = campaign.NewRunTracer(&spec, cell, req.Rep)
 	}
 	rec := campaign.ExecuteRunEnv(&spec, cell, req.Rep, env)
-	if _, err := campaign.WriteRunTrace(s.traceDir, env.Tracer, false); err != nil {
+	// The trace file leads with the request ID, so one glob joins a
+	// request's trace against its journal entries and log lines.
+	if _, err := campaign.WriteRunTraceAs(s.traceDir, env.Tracer,
+		false, TraceName(reqID, cell.RunKey(req.Rep))); err != nil {
 		// A failed trace write must not fail the solve: the record is
 		// sound. It is counted, so a scrape surfaces the data loss.
 		s.traceErrors.Inc()
+		s.log.Warn("trace write failed", "req", reqID, "key", rec.Key, "err", err)
 	}
 	if s.durable != nil && !rec.Transient {
 		// Transient harness errors are retryable by contract (campaign
 		// resume re-executes them); journaling one would pin a failure
 		// a restart should retry.
-		s.durable.record(runIdentity(req), rec)
+		s.durable.record(runIdentity(req), reqID, rec)
+	}
+	if rec.Err != "" {
+		s.log.Warn("run errored", "req", reqID, "key", rec.Key, "error", rec.Err)
+	} else {
+		s.log.Debug("run completed", "req", reqID, "key", rec.Key,
+			"converged", rec.Converged, "iters", rec.Iters, "vtime", rec.VTime)
 	}
 	s.mu.Lock()
 	s.completed++
@@ -304,7 +368,7 @@ func (s *Server) account(req *SolveRequest, accepted bool) {
 	}
 	s.mu.Unlock()
 	if accepted && s.durable != nil {
-		s.durable.accept(runIdentity(req))
+		s.durable.accept(runIdentity(req), RequestID(req))
 	}
 }
 
@@ -357,25 +421,30 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	reqID := RequestID(&req)
 	if rec, ok := s.journalHit(&req); ok {
+		s.log.Info("solve answered from journal", "req", reqID, "key", rec.Key)
 		if req.Stream {
-			s.streamRecorded(w, rec)
+			s.streamRecorded(w, reqID, rec)
 		} else {
-			writeJSON(w, http.StatusOK, SolveResponse{Schema: Schema, Record: rec})
+			writeJSON(w, http.StatusOK, SolveResponse{Schema: Schema, RequestID: reqID, Record: rec})
 		}
 		return
 	}
+	s.log.Info("solve accepted", "req", reqID, "solver", req.Solver,
+		"problem", req.Problem, "ranks", req.Ranks, "stream", req.Stream)
 	if req.Stream {
-		s.streamSolve(r.Context(), w, &req)
+		s.streamSolve(r.Context(), w, reqID, &req)
 		return
 	}
 	done, ok := s.schedule(&req, nil, nil)
 	if !ok {
+		s.log.Warn("solve rejected", "req", reqID, "reason", "queue full")
 		writeError(w, http.StatusServiceUnavailable, "queue full, retry later")
 		return
 	}
 	rec := <-done
-	writeJSON(w, http.StatusOK, SolveResponse{Schema: Schema, Record: rec})
+	writeJSON(w, http.StatusOK, SolveResponse{Schema: Schema, RequestID: reqID, Record: rec})
 }
 
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {

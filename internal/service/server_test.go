@@ -132,6 +132,7 @@ func TestHealthzAndStats(t *testing.T) {
 
 // sseEvent is one parsed Server-Sent Event.
 type sseEvent struct {
+	id   string
 	name string
 	data string
 }
@@ -145,6 +146,8 @@ func parseSSE(t *testing.T, r *bufio.Reader) []sseEvent {
 		if len(line) > 0 {
 			line = strings.TrimRight(line, "\n")
 			switch {
+			case strings.HasPrefix(line, "id: "):
+				cur.id = strings.TrimPrefix(line, "id: ")
 			case strings.HasPrefix(line, "event: "):
 				cur.name = strings.TrimPrefix(line, "event: ")
 			case strings.HasPrefix(line, "data: "):

@@ -14,13 +14,16 @@ import (
 // the solver (the final result event is never dropped).
 const progressBuffer = 4096
 
-// writeSSE emits one Server-Sent Event with a JSON data payload.
-func writeSSE(w http.ResponseWriter, fl http.Flusher, event string, v any) {
+// writeSSE emits one Server-Sent Event with a JSON data payload. The
+// request correlation ID rides the protocol's native id: field, so
+// every frame of a stream names its request without widening any
+// event payload schema.
+func writeSSE(w http.ResponseWriter, fl http.Flusher, reqID, event string, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return
 	}
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	fmt.Fprintf(w, "id: %s\nevent: %s\ndata: %s\n\n", reqID, event, data)
 	fl.Flush()
 }
 
@@ -41,7 +44,7 @@ type sseFrame struct {
 // the result). A client that disconnects stops the event writer; the
 // solve itself finishes in the background (a world cannot be cancelled
 // mid-solve) and still counts in /stats.
-func (s *Server) streamSolve(ctx context.Context, w http.ResponseWriter, req *SolveRequest) {
+func (s *Server) streamSolve(ctx context.Context, w http.ResponseWriter, reqID string, req *SolveRequest) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
@@ -76,7 +79,7 @@ wait:
 	for {
 		select {
 		case f := <-events:
-			writeSSE(w, fl, f.event, f.v)
+			writeSSE(w, fl, reqID, f.event, f.v)
 		case rec = <-done:
 			break wait
 		case <-ctx.Done():
@@ -89,9 +92,9 @@ wait:
 	for {
 		select {
 		case f := <-events:
-			writeSSE(w, fl, f.event, f.v)
+			writeSSE(w, fl, reqID, f.event, f.v)
 		default:
-			writeSSE(w, fl, "result", SolveResponse{Schema: Schema, Record: rec})
+			writeSSE(w, fl, reqID, "result", SolveResponse{Schema: Schema, RequestID: reqID, Record: rec})
 			return
 		}
 	}
@@ -102,7 +105,7 @@ wait:
 // events are not replayed — the journal records results, not
 // timelines; a consumer that needs the iteration trace re-runs with
 // the journal disabled or consults the trace directory.
-func (s *Server) streamRecorded(w http.ResponseWriter, rec campaign.Record) {
+func (s *Server) streamRecorded(w http.ResponseWriter, reqID string, rec campaign.Record) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
@@ -112,7 +115,7 @@ func (s *Server) streamRecorded(w http.ResponseWriter, rec campaign.Record) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
-	writeSSE(w, fl, "result", SolveResponse{Schema: Schema, Record: rec})
+	writeSSE(w, fl, reqID, "result", SolveResponse{Schema: Schema, RequestID: reqID, Record: rec})
 }
 
 // streamCampaign executes one campaign shard over the shared pool and
@@ -139,12 +142,14 @@ func (s *Server) streamCampaign(ctx context.Context, w http.ResponseWriter, spec
 	// Durable campaign cursor: the journal records the admitted
 	// campaign (digest of spec + shard) and each answered run advances
 	// it, so a restarted server reports where every in-flight campaign
-	// stopped.
-	digest := ""
+	// stopped. The request ID is the same digest under the "c-" prefix.
+	digest := campaignDigest(spec, shard, shards)
+	reqID := "c-" + digest
 	if s.durable != nil {
-		digest = campaignDigest(spec, shard, shards)
 		s.durable.campaignBegin(digest, len(jobs))
 	}
+	s.log.Info("campaign admitted", "req", reqID, "cells", cellCount,
+		"runs", len(jobs), "shard", fmt.Sprintf("%d/%d", shard, shards))
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -178,7 +183,7 @@ func (s *Server) streamCampaign(ctx context.Context, w http.ResponseWriter, spec
 	}()
 
 	enc := json.NewEncoder(w)
-	summary := CampaignSummary{Schema: SummarySchema, Cells: cellCount, Runs: len(jobs)}
+	summary := CampaignSummary{Schema: SummarySchema, RequestID: reqID, Cells: cellCount, Runs: len(jobs)}
 	for i := 0; i < len(jobs); i++ {
 		rec := <-results
 		if rec.Err != "" {
@@ -192,6 +197,7 @@ func (s *Server) streamCampaign(ctx context.Context, w http.ResponseWriter, spec
 	}
 	enc.Encode(summary)
 	fl.Flush()
+	s.log.Info("campaign finished", "req", reqID, "runs", len(jobs), "errored", summary.Errored)
 }
 
 // errorRecord is the harness-error record for a run that could not

@@ -6,6 +6,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/krylov"
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/precond"
 )
 
@@ -88,6 +89,7 @@ func (s *DistInner) ApplyInto(r, z []float64) error {
 	// Local sanitisation must reach a *global* consensus: if any rank's
 	// piece is garbage, every rank must discard, or the preconditioner
 	// application would be inconsistent across ranks.
+	sanitize := s.C.SpanStart()
 	var agg [3]float64
 	if la.HasNonFinite(out) {
 		agg[0] = 1
@@ -100,12 +102,14 @@ func (s *DistInner) ApplyInto(r, z []float64) error {
 	}
 	if agg[0] > 0 || (agg[2] > 0 && (agg[1] == 0 || agg[1] > 1e16*agg[2])) {
 		s.Discards++
+		s.C.SpanEnd(obs.PhaseSanitize, sanitize)
 		if s.OnDiscard != nil {
 			s.OnDiscard(s.Solves)
 		}
 		copy(z, r)
 		return nil
 	}
+	s.C.SpanEnd(obs.PhaseSanitize, sanitize)
 	copy(z, out)
 	return nil
 }

@@ -1,0 +1,238 @@
+// Package traceq is the trace-analytics layer over repro-trace/v1: it
+// loads directories of per-run trace files (campaign -trace output, CI
+// artifacts) and reduces their span timelines into the phase
+// attribution the paper's resilience argument turns on — where virtual
+// time actually goes (SpMV, halo exchange, all-reduces, orthogonalise,
+// preconditioner, sanitisation), how much a global restart throws away,
+// and which inner solves FT-GMRES discards. Like campaign reports, the
+// outputs are pure functions of their inputs: byte-identical across
+// reruns, load orders and worker counts.
+package traceq
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// PhaseUnattributed is the synthetic phase name for virtual time not
+// covered by any span: scalar recurrences, axpy updates outside the
+// instrumented loops, and anything else the catalogue does not name.
+const PhaseUnattributed = "unattributed"
+
+// AttributionPhases returns the phase order of every attribution table:
+// the compute phases of the obs catalogue (restart-recovery excluded —
+// it overlaps lost compute spans by construction and is reported
+// separately) followed by PhaseUnattributed.
+func AttributionPhases() []string {
+	var out []string
+	for _, p := range obs.Phases() {
+		if p != obs.PhaseRestartRecovery {
+			out = append(out, p)
+		}
+	}
+	return append(out, PhaseUnattributed)
+}
+
+// RunPhases is one run's reduction: exclusive virtual seconds per
+// compute phase (nested spans attribute only their own time), the
+// run's total virtual time, its recovery spans and discard ordinals.
+type RunPhases struct {
+	// Key is the run key from the trace header.
+	Key string
+	// Cell is Key without the trailing /r<rep> segment.
+	Cell string
+	// Solver is the first segment of the key.
+	Solver string
+	// VTime is the run's total virtual time (the run_end stamp).
+	VTime float64
+	// Seconds maps each attribution phase (see AttributionPhases) to
+	// its exclusive virtual seconds; every phase is present, zero when
+	// the run never entered it.
+	Seconds map[string]float64
+	// Recoveries holds the duration of each restart-recovery span: the
+	// virtual time each global restart threw away.
+	Recoveries []float64
+	// Discards holds the inner-solve ordinal of each discard event.
+	Discards []int
+}
+
+// Share returns phase's fraction of the run's virtual time (0 when the
+// run recorded no time).
+func (r *RunPhases) Share(phase string) float64 {
+	if r.VTime <= 0 {
+		return 0
+	}
+	return r.Seconds[phase] / r.VTime
+}
+
+// span is one interval being swept.
+type span struct {
+	start, end float64
+	phase      string
+}
+
+// exclusiveByPhase reduces one rank's spans to exclusive time per
+// phase. Spans from a single rank are properly nested or disjoint
+// (each rank runs one goroutine; a span closes before its opener's
+// caller closes), so a stack sweep attributes each child's duration to
+// the child alone.
+func exclusiveByPhase(spans []span, into map[string]float64) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].end > spans[j].end
+	})
+	type frame struct {
+		span
+		child float64
+	}
+	var stack []frame
+	pop := func() {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		excl := (f.end - f.start) - f.child
+		if excl < 0 {
+			excl = 0
+		}
+		into[f.phase] += excl
+	}
+	for _, s := range spans {
+		for len(stack) > 0 && s.start >= stack[len(stack)-1].end {
+			pop()
+		}
+		if len(stack) > 0 {
+			stack[len(stack)-1].child += s.end - s.start
+		}
+		stack = append(stack, frame{span: s})
+	}
+	for len(stack) > 0 {
+		pop()
+	}
+}
+
+// AnalyzeTrace reduces one parsed trace to its RunPhases.
+func AnalyzeTrace(tr *obs.Trace) *RunPhases {
+	rp := &RunPhases{Key: tr.Key, Cell: tr.Key, Seconds: make(map[string]float64)}
+	if i := strings.LastIndex(tr.Key, "/"); i >= 0 {
+		rp.Cell = tr.Key[:i]
+	}
+	if solver, _, ok := strings.Cut(tr.Key, "/"); ok {
+		rp.Solver = solver
+	}
+	byRank := make(map[int][]span)
+	for _, ev := range tr.Events {
+		switch ev.Name {
+		case "run_end":
+			rp.VTime = ev.T
+		case "discard":
+			rp.Discards = append(rp.Discards, ev.Iter)
+		case obs.EventSpan:
+			if ev.Detail == obs.PhaseRestartRecovery {
+				rp.Recoveries = append(rp.Recoveries, ev.Dur)
+				continue
+			}
+			byRank[ev.Rank] = append(byRank[ev.Rank], span{start: ev.T, end: ev.T + ev.Dur, phase: ev.Detail})
+		}
+	}
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		exclusiveByPhase(byRank[r], rp.Seconds)
+	}
+	// Fill the catalogue and derive the unattributed remainder, clamped
+	// at zero: under rank-kill a survivor's last lost-attempt span can
+	// spill past the charged death time by up to one operation.
+	total := 0.0
+	for _, p := range AttributionPhases() {
+		if p == PhaseUnattributed {
+			continue
+		}
+		total += rp.Seconds[p]
+		if _, ok := rp.Seconds[p]; !ok {
+			rp.Seconds[p] = 0
+		}
+	}
+	rest := rp.VTime - total
+	if rest < 0 {
+		rest = 0
+	}
+	rp.Seconds[PhaseUnattributed] = rest
+	return rp
+}
+
+// Analysis is the reduction of one trace directory: every run's phases,
+// in run-key order.
+type Analysis struct {
+	// Runs holds one entry per trace file, sorted by run key.
+	Runs []*RunPhases
+}
+
+// Analyze reduces parsed traces into an Analysis. Input order does not
+// matter; the result is sorted by run key.
+func Analyze(traces []*obs.Trace) *Analysis {
+	a := &Analysis{Runs: make([]*RunPhases, 0, len(traces))}
+	for _, tr := range traces {
+		a.Runs = append(a.Runs, AnalyzeTrace(tr))
+	}
+	sort.Slice(a.Runs, func(i, j int) bool { return a.Runs[i].Key < a.Runs[j].Key })
+	return a
+}
+
+// LoadDir parses every *.trace.jsonl under dir and returns the
+// Analysis. Files are discovered in sorted order; a directory with no
+// trace files is an error (it almost always means a mistyped path).
+func LoadDir(dir string) (*Analysis, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.trace.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("traceq: no *.trace.jsonl files in %s", dir)
+	}
+	sort.Strings(paths)
+	traces := make([]*obs.Trace, 0, len(paths))
+	for _, p := range paths {
+		tr, err := obs.ReadTraceFile(p)
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, tr)
+	}
+	return Analyze(traces), nil
+}
+
+// quantile returns the nearest-rank q-quantile (0 < q <= 1) of sorted
+// (ascending) values; 0 on an empty slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// mean returns the arithmetic mean (0 on empty).
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
