@@ -18,6 +18,8 @@
 //	campaign -spec quick -shard 1/2 -runs shard1.jsonl -no-agg       # CI fan-out, half 2
 //	campaign -aggregate-only -spec quick -label ci shard0.jsonl shard1.jsonl
 //	campaign -spec quick -label dev -trace traces -trace-chrome      # per-run event timelines
+//	campaign -spec quick -label dev -trace traces -trace-ranks all   # keep every rank's spans (imbalance / critical path)
+//	campaign -spec full -label dev -trace traces -trace-sample 1/8   # trace a deterministic 1-in-8 subset of runs
 //	campaign compare CAMPAIGN_baseline.json CAMPAIGN_ci.json         # claim gate (exit 1 on regression)
 //	campaign report -csv report.csv CAMPAIGN_ci.json                 # render the paper's comparisons (Markdown to stdout; -md FILE writes it)
 //
@@ -53,6 +55,8 @@ type options struct {
 	quiet   bool
 	trace   string
 	chrome  bool
+	tranks  string
+	tsample string
 }
 
 // newFlags builds the run-mode flag set. Keeping construction in one
@@ -75,6 +79,8 @@ func newFlags() (*flag.FlagSet, *options) {
 	fs.BoolVar(&o.quiet, "quiet", false, "suppress per-run progress lines")
 	fs.StringVar(&o.trace, "trace", "", "write one repro-trace/v1 event timeline per run into this directory")
 	fs.BoolVar(&o.chrome, "trace-chrome", false, "with -trace, also write Chrome trace-event files for timeline viewers")
+	fs.StringVar(&o.tranks, "trace-ranks", "0", "spans kept per trace: 0 (rank 0 only) or all (every rank, enables imbalance/critical-path analytics)")
+	fs.StringVar(&o.tsample, "trace-sample", "1/1", "trace a deterministic k/n sample of runs (seeded by run key; same subset on every rerun)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: campaign [flags] [jsonl files with -aggregate-only]\n")
 		fmt.Fprintf(fs.Output(), "       campaign compare [flags] BASELINE.json CURRENT.json\n")
@@ -286,6 +292,7 @@ func run(fs *flag.FlagSet, o *options) error {
 		Spec: spec, Shard: shard, Shards: shards, Workers: o.workers,
 		Out: runsPath, Resume: o.resume, Ledger: led,
 		TraceDir: o.trace, TraceChrome: o.chrome,
+		TraceRanks: o.tranks, TraceSample: o.tsample,
 	}
 	if !o.quiet {
 		opts.Progress = os.Stderr

@@ -13,6 +13,7 @@
 //	solverd serve -addr :8077                                          # start the service
 //	solverd serve -addr :8077 -workers 8 -queue 64                     # sized pool
 //	solverd serve -addr :8077 -pprof -trace-dir traces                 # debug profiling + per-run traces
+//	solverd serve -addr :8077 -trace-dir traces -trace-ranks all -trace-sample 1/4  # all-rank spans for a deterministic quarter of runs
 //	solverd serve -addr :8077 -journal-dir journal -journal-fsync off  # durable: journal + snapshots + hot resume
 //	solverd serve -addr :8077 -journal-dir journal -snapshot-every 128 -cache-max-entries 512
 //	solverd serve -addr :8077 -log-level debug                         # structured key=value logs on stderr
@@ -102,6 +103,8 @@ type serveOptions struct {
 	drain         time.Duration
 	pprof         bool
 	traceDir      string
+	traceRanks    string
+	traceSample   string
 	journalDir    string
 	journalFsync  string
 	snapshotEvery int
@@ -120,6 +123,8 @@ func newServeFlags() (*flag.FlagSet, *serveOptions) {
 	fs.DurationVar(&o.drain, "drain", 30*time.Second, "shutdown drain deadline; in-flight requests past it are cut (size to your longest campaign request)")
 	fs.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in; exposes goroutine and heap internals)")
 	fs.StringVar(&o.traceDir, "trace-dir", "", "write one repro-trace/v1 event timeline per executed run into this directory")
+	fs.StringVar(&o.traceRanks, "trace-ranks", "0", "spans kept per trace: 0 (rank 0 only) or all (every rank, enables imbalance/critical-path analytics)")
+	fs.StringVar(&o.traceSample, "trace-sample", "1/1", "trace a deterministic k/n sample of executed runs (seeded by run key; same subset on every rerun)")
 	fs.StringVar(&o.journalDir, "journal-dir", "", "enable durability: keep the repro-journal/v1 run journal and repro-snapshot/v1 state snapshots in this directory, and resume from them on restart")
 	fs.StringVar(&o.journalFsync, "journal-fsync", "always", "journal fsync policy: always (every append is a durability barrier) or off (OS-paced; a crash may lose the last appends, which simply re-execute)")
 	fs.IntVar(&o.snapshotEvery, "snapshot-every", 256, "completed runs between state snapshots (each snapshot rotates the journal it captured)")
@@ -188,6 +193,7 @@ func runServe(args []string) error {
 	}
 	srv, err := service.New(service.Options{
 		Workers: o.workers, Queue: o.queue, TraceDir: o.traceDir,
+		TraceRanks: o.traceRanks, TraceSample: o.traceSample,
 		JournalDir: o.journalDir, JournalFsync: fsync,
 		SnapshotEvery: o.snapshotEvery, CacheMaxEntries: o.cacheMax,
 		Logger: logger,
@@ -402,8 +408,13 @@ func runSmoke(args []string) error {
 		return err
 	}
 
-	// Served execution: a real listener, a real client.
-	srv, err := service.New(service.Options{Workers: o.workers})
+	// Served execution: a real listener, a real client. The served pass
+	// traces every rank of every run — the byte-diff against the
+	// untraced direct pass below is the proof that all-rank tracing
+	// never perturbs results, and the traces feed the phase-histogram
+	// reconciliation in checkMetrics.
+	traceDir := filepath.Join(o.outdir, "traces-"+o.label)
+	srv, err := service.New(service.Options{Workers: o.workers, TraceDir: traceDir, TraceRanks: "all"})
 	if err != nil {
 		return err
 	}
@@ -458,12 +469,12 @@ func runSmoke(args []string) error {
 	fmt.Printf("smoke: %d runs served (%d workers), setup cache %d hits / %d misses\n",
 		stats.Completed, o.workers, stats.Cache.SetupHits, stats.Cache.SetupMisses)
 	if !bytes.Equal(da, sa) {
-		return fmt.Errorf("smoke: %s and %s differ — served execution is not byte-identical", directPath, servedPath)
+		return fmt.Errorf("smoke: %s and %s differ — all-rank traced execution is not byte-identical to untraced", directPath, servedPath)
 	}
 	if stats.Cache.SetupHits == 0 {
 		return fmt.Errorf("smoke: setup cache reported no hits under repeated-cell traffic")
 	}
-	if err := checkMetrics(cl.Base, stats); err != nil {
+	if err := checkMetrics(cl.Base, stats, traceDir); err != nil {
 		return err
 	}
 	// A machine-readable verdict line for the CI log.
@@ -478,8 +489,11 @@ func runSmoke(args []string) error {
 // checkMetrics scrapes GET /metrics after the loadgen traffic and
 // asserts the Prometheus surface reconciles exactly with /stats: both
 // read the same counters, so any disagreement is a wiring bug worth
-// failing CI over.
-func checkMetrics(base string, stats service.StatsResponse) error {
+// failing CI over. traceDir, when non-empty, holds the all-rank traces
+// of the same runs; the per-phase virtual-duration histograms must then
+// reconcile with the spans the traces persisted — counts exactly, sums
+// to float tolerance (accumulation order differs across workers).
+func checkMetrics(base string, stats service.StatsResponse, traceDir string) error {
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		return err
@@ -515,7 +529,57 @@ func checkMetrics(base string, stats service.StatsResponse) error {
 				h, series[h+"_count"], stats.Completed)
 		}
 	}
+	if traceDir != "" {
+		if err := checkPhaseMetrics(series, traceDir); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("smoke: /metrics reconciles with /stats (%d series scraped)\n", len(series))
+	return nil
+}
+
+// checkPhaseMetrics reconciles repro_phase_vseconds against the
+// all-rank traces of the same runs: every phase span a trace persisted
+// is exactly one histogram observation (restart-recovery excluded — it
+// is a harness-stream annotation, not a phase the solve spent time in).
+func checkPhaseMetrics(series map[string]float64, traceDir string) error {
+	paths, err := filepath.Glob(filepath.Join(traceDir, "*.trace.jsonl"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("smoke: no traces in %s — the served pass should have traced every run", traceDir)
+	}
+	count := map[string]int{}
+	sum := map[string]float64{}
+	for _, p := range paths {
+		tr, err := obs.ReadTraceFile(p)
+		if err != nil {
+			return err
+		}
+		for _, ev := range tr.Events {
+			if ev.Name != obs.EventSpan || ev.Detail == obs.PhaseRestartRecovery {
+				continue
+			}
+			count[ev.Detail]++
+			sum[ev.Detail] += ev.Dur
+		}
+	}
+	if count[obs.PhaseAllreduce] == 0 || count[obs.PhaseSpMV] == 0 {
+		return fmt.Errorf("smoke: traces carry no allreduce/spmv spans — all-rank capture is not working")
+	}
+	for phase, n := range count {
+		key := fmt.Sprintf("repro_phase_vseconds_count{phase=%q}", phase)
+		if got := series[key]; got != float64(n) {
+			return fmt.Errorf("smoke: %s is %g but the traces persisted %d %s spans", key, got, n, phase)
+		}
+		skey := fmt.Sprintf("repro_phase_vseconds_sum{phase=%q}", phase)
+		got, want := series[skey], sum[phase]
+		if diff := got - want; diff < -1e-9*want || diff > 1e-9*want {
+			return fmt.Errorf("smoke: %s is %g but the traces sum to %g", skey, got, want)
+		}
+	}
+	fmt.Printf("smoke: repro_phase_vseconds reconciles with %d traces (%d phases)\n", len(paths), len(count))
 	return nil
 }
 

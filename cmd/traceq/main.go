@@ -2,9 +2,14 @@
 // loads a directory of per-run trace files (written by `campaign
 // -trace DIR` or solverd's per-request tracing) and renders the
 // span-based phase attribution report — where virtual time goes per
-// solver, the ftgmres-vs-gmres phase deltas, the fault-to-recovery
-// latency distribution, and the discard ordinal histogram — as
-// deterministic Markdown plus a full-precision CSV. Like `campaign
+// solver, the ftgmres-vs-gmres phase deltas, the per-phase load
+// imbalance across ranks, the wait-time share per rank, the
+// critical-path phase charges (with ftgmres-vs-gmres critical-path
+// deltas), the fault-to-recovery latency distribution, and the discard
+// ordinal histogram — as deterministic Markdown plus a full-precision
+// CSV. The imbalance, wait and critical-path sections need all-rank
+// traces (`campaign -trace traces -trace-ranks all`); rank-0 traces
+// get the attribution sections and a pointer instead. Like `campaign
 // report`, the output is a pure function of the trace files:
 // byte-identical across reruns and across the worker counts that
 // produced the traces.
@@ -47,8 +52,10 @@ func newFlags() (*flag.FlagSet, *options) {
 		fmt.Fprintf(fs.Output(), "usage: traceq [flags] TRACEDIR\n\n")
 		fmt.Fprintf(fs.Output(), "Reduces every *.trace.jsonl under TRACEDIR into the span-based phase\n")
 		fmt.Fprintf(fs.Output(), "attribution report: virtual-time share per phase by solver, ftgmres\n")
-		fmt.Fprintf(fs.Output(), "vs gmres deltas, fault-to-recovery latencies, and the discard ordinal\n")
-		fmt.Fprintf(fs.Output(), "histogram. Deterministic Markdown, full precision in the CSV.\n\n")
+		fmt.Fprintf(fs.Output(), "vs gmres deltas, per-phase load imbalance, wait-time share per rank,\n")
+		fmt.Fprintf(fs.Output(), "critical-path phase charges (all-rank traces), fault-to-recovery\n")
+		fmt.Fprintf(fs.Output(), "latencies, and the discard ordinal histogram. Deterministic Markdown,\n")
+		fmt.Fprintf(fs.Output(), "full precision in the CSV.\n\n")
 		fs.PrintDefaults()
 	}
 	return fs, o

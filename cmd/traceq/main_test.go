@@ -73,14 +73,14 @@ func traceSpec() campaign.Spec {
 }
 
 // runCampaignTraces executes the test spec with the given worker count
-// and returns the trace directory.
-func runCampaignTraces(t *testing.T, workers int) string {
+// and trace-ranks mode and returns the trace directory.
+func runCampaignTraces(t *testing.T, workers int, ranks string) string {
 	t.Helper()
 	dir := t.TempDir()
 	traces := filepath.Join(dir, "traces")
 	_, err := campaign.Run(campaign.Options{
 		Spec: traceSpec(), Out: filepath.Join(dir, "runs.jsonl"),
-		Workers: workers, TraceDir: traces,
+		Workers: workers, TraceDir: traces, TraceRanks: ranks,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -119,8 +119,8 @@ func renderReport(t *testing.T, traces string) ([]byte, []byte) {
 // the worker counts that produced the traces, and the report's
 // headline sections all carry data from a real solver run.
 func TestReportByteDeterminism(t *testing.T) {
-	traces1 := runCampaignTraces(t, 1)
-	traces4 := runCampaignTraces(t, 4)
+	traces1 := runCampaignTraces(t, 1, "0")
+	traces4 := runCampaignTraces(t, 4, "0")
 
 	m1, c1 := renderReport(t, traces1)
 	m1b, c1b := renderReport(t, traces1)
@@ -148,6 +148,60 @@ func TestReportByteDeterminism(t *testing.T) {
 	}
 	if bytes.Contains(m1, []byte("No global restarts")) {
 		t.Error("recovery section empty despite rank-kill cells")
+	}
+}
+
+// TestAllRankReportDeterminism is the acceptance pin for the
+// parallel-cost analytics: over all-rank traces of a real campaign,
+// the imbalance/wait/critical-path sections render with data, the
+// ftgmres-vs-gmres critical-path delta is nonzero on the paired cells,
+// and the whole report stays byte-identical across reruns and across
+// the worker counts that produced the traces.
+func TestAllRankReportDeterminism(t *testing.T) {
+	traces1 := runCampaignTraces(t, 1, "all")
+	traces4 := runCampaignTraces(t, 4, "all")
+
+	m1, c1 := renderReport(t, traces1)
+	m4, c4 := renderReport(t, traces4)
+	if !bytes.Equal(m1, m4) || !bytes.Equal(c1, c4) {
+		t.Error("all-rank traceq output differs across the worker counts that produced the traces")
+	}
+	for _, want := range []string{
+		"## Load imbalance by phase",
+		"## Wait-time share per rank",
+		"## Critical path by phase",
+		"### ftgmres vs gmres on the critical path",
+	} {
+		if !bytes.Contains(m1, []byte(want)) {
+			t.Errorf("all-rank report missing %q", want)
+		}
+	}
+	if bytes.Contains(m1, []byte("No all-rank")) {
+		t.Errorf("all-rank traces still rendered an empty parallel-cost section:\n%s", m1)
+	}
+	for _, want := range []string{"\nimbalance,", "\nwait,", "\ncritpath,"} {
+		if !bytes.Contains(c1, []byte(want)) {
+			t.Errorf("all-rank CSV missing %q rows", want)
+		}
+	}
+	// The selective-reliability delta on the critical path must be a
+	// real signal: at least one phase row with a nonzero delta.
+	_, after, ok := bytes.Cut(m1, []byte("### ftgmres vs gmres on the critical path"))
+	if !ok {
+		t.Fatal("no critical-path delta section")
+	}
+	nonzero := false
+	for _, line := range bytes.Split(after, []byte("\n")) {
+		cols := bytes.Split(line, []byte("|"))
+		if len(cols) < 5 {
+			continue
+		}
+		if d := bytes.TrimSpace(cols[4]); len(d) > 0 && !bytes.Equal(d, []byte("0")) && !bytes.Equal(d, []byte("delta (pp)")) && !bytes.HasPrefix(d, []byte("---")) {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Errorf("every ftgmres-vs-gmres critical-path delta is zero:\n%s", after)
 	}
 }
 

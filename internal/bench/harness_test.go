@@ -171,13 +171,13 @@ func TestObsKernelsAllocationFree(t *testing.T) {
 		Label:       "obs",
 		Quick:       true,
 		Repeat:      1,
-		KernelNames: []string{"kernel/obs-disabled-telemetry", "kernel/obs-disabled-span", "kernel/obs-enabled-metrics"},
+		KernelNames: []string{"kernel/obs-disabled-telemetry", "kernel/obs-disabled-span", "kernel/comm-disabled-span-p4", "kernel/obs-enabled-metrics"},
 		BenchTime:   10 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"kernel/obs-disabled-telemetry", "kernel/obs-disabled-span", "kernel/obs-enabled-metrics"} {
+	for _, name := range []string{"kernel/obs-disabled-telemetry", "kernel/obs-disabled-span", "kernel/comm-disabled-span-p4", "kernel/obs-enabled-metrics"} {
 		k, ok := rep.Lookup(name)
 		if !ok {
 			t.Fatalf("missing %s result", name)

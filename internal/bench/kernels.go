@@ -44,6 +44,7 @@ func Kernels() []Kernel {
 		{Name: "kernel/precond-chebyshev-apply-p4", Setup: chebyshevApplyKernel},
 		{Name: "kernel/obs-disabled-telemetry", Setup: obsDisabledKernel},
 		{Name: "kernel/obs-disabled-span", Setup: obsDisabledSpanKernel},
+		{Name: "kernel/comm-disabled-span-p4", Setup: commDisabledSpanKernel},
 		{Name: "kernel/obs-enabled-metrics", Setup: obsEnabledKernel},
 	}
 }
@@ -342,8 +343,31 @@ func obsDisabledSpanKernel() (func(n int), func()) {
 			sp := tr.StartSpan(0, 1, obs.PhaseSpMV, float64(i))
 			sp.End(float64(i + 1))
 			tr.EmitSpan(0, float64(i), float64(i+1), 1, obs.PhaseAllreduce)
+			tr.EmitSpanWait(0, float64(i), float64(i+1), 1, obs.PhaseHaloExchange, 0.5)
 		}
 	}, func() {}
+}
+
+// commDisabledSpanKernel measures the disabled-span path at the comm
+// layer: every rank of a 4-rank world with no Config.OnSpan observer
+// runs the full bracket an instrumented phase pays — SpanStart,
+// WaitMark, a clock advance standing in for the phase body, SpanEndWait
+// and SpanEnd. With no observer the bracket must collapse to clock and
+// field reads: 0 allocs/op, gated by TestObsKernelsAllocationFree, so
+// the all-rank span capture can never tax untraced runs.
+func commDisabledSpanKernel() (func(n int), func()) {
+	return spmdKernel(4, func(c *comm.Comm) func(n int) error {
+		return func(n int) error {
+			for i := 0; i < n; i++ {
+				start := c.SpanStart()
+				mark := c.WaitMark()
+				c.AdvanceClock(1e-9)
+				c.SpanEndWait(obs.PhaseAllreduce, start, mark)
+				c.SpanEnd(obs.PhaseSpMV, start)
+			}
+			return nil
+		}
+	})
 }
 
 // obsEnabledKernel measures live metric updates: one op is a counter

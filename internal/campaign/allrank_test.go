@@ -1,0 +1,261 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// allRankTraceRun executes one run with every rank's spans kept and
+// returns the record, the trace bytes and the exported events.
+func allRankTraceRun(t *testing.T, spec *Spec, cell Cell, rep int) (Record, []byte, []obs.Event) {
+	t.Helper()
+	tr := NewRunTracer(spec, cell, rep)
+	rec := ExecuteRunEnv(spec, cell, rep, &ExecEnv{Tracer: tr, TraceAllRanks: true})
+	var b bytes.Buffer
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	return rec, b.Bytes(), tr.Events()
+}
+
+// TestAllRankTraceIsObserver pins the core contract of all-rank span
+// capture: lifting the rank-0 filter changes what the trace contains —
+// every rank's spans, with wait attribution on the ranks that blocked —
+// and changes nothing else. The record equals untraced execution and
+// the trace is byte-identical across reruns.
+func TestAllRankTraceIsObserver(t *testing.T) {
+	spec := testSpec()
+	cell := Cell{
+		Solver: SolverGMRES, Precond: PrecondJacobi, Problem: ProblemPoisson,
+		Ranks: 2, Fault: FaultSpec{Model: FaultNone},
+	}
+	rec1, bytes1, events := allRankTraceRun(t, &spec, cell, 0)
+	_, bytes2, _ := allRankTraceRun(t, &spec, cell, 0)
+	if rec1.Err != "" {
+		t.Fatal(rec1.Err)
+	}
+	if !bytes.Equal(bytes1, bytes2) {
+		t.Fatal("all-rank trace not byte-identical across reruns")
+	}
+	if plain := ExecuteRun(&spec, cell, 0, nil); plain != rec1 {
+		t.Fatalf("all-rank tracing perturbed the run: traced %+v, untraced %+v", rec1, plain)
+	}
+	spanRanks := map[int]int{}
+	var waited bool
+	for _, ev := range events {
+		if ev.Name != obs.EventSpan || ev.Rank < 0 {
+			continue
+		}
+		spanRanks[ev.Rank]++
+		if ev.Wait > 0 {
+			waited = true
+		}
+	}
+	for rank := 0; rank < cell.Ranks; rank++ {
+		if spanRanks[rank] == 0 {
+			t.Errorf("no spans from rank %d in an all-rank trace", rank)
+		}
+	}
+	if !waited {
+		t.Error("no span carries wait > 0; two ranks of a partitioned grid never block identically")
+	}
+}
+
+// TestRankZeroTraceUnchangedByFanIn pins that the default rank-0 trace
+// is bitwise independent of the capture path: a run traced through the
+// fan-in (forced by an OnSpan observer) produces the same bytes as the
+// direct rank-0 emit path, so enabling observers can never shift
+// existing trace artifacts.
+func TestRankZeroTraceUnchangedByFanIn(t *testing.T) {
+	spec := testSpec()
+	cell := Cell{
+		Solver: SolverGMRES, Precond: PrecondJacobi, Problem: ProblemPoisson,
+		Ranks: 2, Fault: FaultSpec{Model: FaultRankKill, MTBF: 60},
+	}
+	_, direct, _ := traceRun(t, &spec, cell, 0)
+	tr := NewRunTracer(&spec, cell, 0)
+	env := &ExecEnv{Tracer: tr, OnSpan: func(rank int, phase string, start, end, wait float64) {}}
+	ExecuteRunEnv(&spec, cell, 0, env)
+	var b bytes.Buffer
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct, b.Bytes()) {
+		t.Fatal("rank-0 trace bytes differ between the direct and fan-in capture paths")
+	}
+}
+
+// TestOnSpanDeliversEveryRank pins the engine-level observer: spans of
+// every rank arrive (in rank order per attempt) regardless of whether
+// tracing is on, and the wait totals reported per rank are nonnegative.
+func TestOnSpanDeliversEveryRank(t *testing.T) {
+	spec := testSpec()
+	var mu sync.Mutex
+	perRank := map[int]int{}
+	_, err := Run(Options{
+		Spec: spec, Workers: 2, Out: filepath.Join(t.TempDir(), "runs.jsonl"),
+		OnSpan: func(rank int, phase string, start, end, wait float64) {
+			if end < start || wait < 0 {
+				t.Errorf("bad span: rank %d %s [%g,%g] wait %g", rank, phase, start, end, wait)
+			}
+			mu.Lock()
+			perRank[rank]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 2; rank++ {
+		if perRank[rank] == 0 {
+			t.Errorf("OnSpan never saw rank %d", rank)
+		}
+	}
+	if _, err := Run(Options{
+		Spec: spec, Out: filepath.Join(t.TempDir(), "r.jsonl"),
+		Exec:   func(spec *Spec, cell Cell, rep int) Record { return Record{} },
+		OnSpan: func(rank int, phase string, start, end, wait float64) {},
+	}); err == nil {
+		t.Fatal("OnSpan with a remote Exec did not error")
+	}
+}
+
+// readTraceDir maps trace file name to content for a whole directory.
+func readTraceDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = b
+	}
+	return out
+}
+
+// TestAllRankTracesWorkerInvariant is the race-targeted determinism
+// test for the per-rank fan-in: an all-rank traced campaign writes the
+// same trace files byte for byte whether one worker or four produced
+// them. Under -race (CI's race job runs -short) this also exercises
+// concurrent per-rank span emission across simultaneously executing
+// runs.
+func TestAllRankTracesWorkerInvariant(t *testing.T) {
+	spec := testSpec()
+	dirs := [2]string{}
+	for i, workers := range []int{1, 4} {
+		dir := t.TempDir()
+		dirs[i] = dir
+		if _, err := Run(Options{
+			Spec: spec, Workers: workers,
+			Out:      filepath.Join(dir, "runs.jsonl"),
+			TraceDir: filepath.Join(dir, "traces"), TraceRanks: "all",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one := readTraceDir(t, filepath.Join(dirs[0], "traces"))
+	four := readTraceDir(t, filepath.Join(dirs[1], "traces"))
+	if len(one) == 0 || len(one) != len(four) {
+		t.Fatalf("trace sets differ: %d files with 1 worker, %d with 4", len(one), len(four))
+	}
+	for name, b := range one {
+		if !bytes.Equal(b, four[name]) {
+			t.Errorf("%s differs between worker counts", name)
+		}
+	}
+}
+
+// TestTraceSamplingDeterministic pins the -trace-sample contract: the
+// sampled subset is a pure function of campaign seed and run key, so it
+// is identical across reruns and worker counts, and it is a subset of
+// the full trace set.
+func TestTraceSamplingDeterministic(t *testing.T) {
+	spec := testSpec()
+	sampled := func(workers int) []string {
+		dir := t.TempDir()
+		if _, err := Run(Options{
+			Spec: spec, Workers: workers,
+			Out:      filepath.Join(dir, "runs.jsonl"),
+			TraceDir: filepath.Join(dir, "traces"), TraceSample: "1/2",
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for name := range readTraceDir(t, filepath.Join(dir, "traces")) {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return names
+	}
+	one, four := sampled(1), sampled(4)
+	total := len(spec.ShardRuns(0, 1))
+	if len(one) == 0 || len(one) == total {
+		t.Fatalf("1/2 sample traced %d of %d runs; want a strict subset", len(one), total)
+	}
+	if len(one) != len(four) {
+		t.Fatalf("sampled set differs across worker counts: %d vs %d", len(one), len(four))
+	}
+	for i := range one {
+		if one[i] != four[i] {
+			t.Fatalf("sampled set differs across worker counts: %s vs %s", one[i], four[i])
+		}
+	}
+}
+
+// TestTraceSampled covers the hash sampler's edges and the flag
+// parsers.
+func TestTraceSampled(t *testing.T) {
+	hits := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		key := Cell{Solver: SolverGMRES, Precond: PrecondNone, Problem: ProblemPoisson,
+			Ranks: 2, Fault: FaultSpec{Model: FaultNone}}.RunKey(i)
+		if TraceSampled(7, key, 1, 4) != TraceSampled(7, key, 1, 4) {
+			t.Fatal("TraceSampled is not deterministic")
+		}
+		if TraceSampled(7, key, 1, 4) {
+			hits++
+		}
+		if !TraceSampled(7, key, 1, 1) || TraceSampled(7, key, 0, 4) {
+			t.Fatal("k/n edge cases broken")
+		}
+	}
+	// The hash should land reasonably near 1 in 4; a gross miss means
+	// the run-key bytes are not actually feeding the hash.
+	if hits < n/8 || hits > n/2 {
+		t.Errorf("1/4 sampling hit %d of %d keys", hits, n)
+	}
+	if k, nn, err := ParseTraceSample(""); err != nil || k != 1 || nn != 1 {
+		t.Errorf("ParseTraceSample(\"\") = %d/%d, %v", k, nn, err)
+	}
+	if k, nn, err := ParseTraceSample("3/8"); err != nil || k != 3 || nn != 8 {
+		t.Errorf("ParseTraceSample(3/8) = %d/%d, %v", k, nn, err)
+	}
+	for _, bad := range []string{"x", "2/1/3", "-1/4", "5/4", "1/0", "a/b"} {
+		if _, _, err := ParseTraceSample(bad); err == nil {
+			t.Errorf("ParseTraceSample(%q) accepted", bad)
+		}
+	}
+	if all, err := ParseTraceRanks("all"); err != nil || !all {
+		t.Errorf("ParseTraceRanks(all) = %v, %v", all, err)
+	}
+	for _, s := range []string{"", "0"} {
+		if all, err := ParseTraceRanks(s); err != nil || all {
+			t.Errorf("ParseTraceRanks(%q) = %v, %v", s, all, err)
+		}
+	}
+	if _, err := ParseTraceRanks("2"); err == nil {
+		t.Error("ParseTraceRanks(2) accepted")
+	}
+}

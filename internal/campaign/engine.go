@@ -39,6 +39,23 @@ type Options struct {
 	// TraceChrome additionally writes each trace in Chrome trace-event
 	// format (a .chrome.json sibling) for timeline viewers.
 	TraceChrome bool
+	// TraceRanks selects which ranks' phase spans land in the traces:
+	// "" or "0" keep the classic rank-0 filter, "all" captures every
+	// rank through the race-safe per-rank fan-in (see
+	// ExecEnv.TraceAllRanks). Requires TraceDir.
+	TraceRanks string
+	// TraceSample deterministically samples which runs are traced:
+	// "k/n" traces the runs whose seeded run-key hash falls in k of n
+	// residue classes ("" or "1/1" traces every run — see TraceSampled).
+	// The sampled set is identical across reruns, shards and worker
+	// counts. Requires TraceDir.
+	TraceSample string
+	// OnSpan, when non-nil, observes every executed run's phase spans
+	// (all ranks, run-virtual time) regardless of TraceDir — the
+	// programmatic twin of span tracing. Runs execute concurrently, so
+	// the observer must be safe for concurrent use. Incompatible with
+	// Exec for the same reason TraceDir is.
+	OnSpan func(rank int, phase string, start, end, wait float64)
 	// Exec, when non-nil, replaces local ExecuteRun for every run —
 	// the remote-execution hook: cmd/solverd's submit mode sets it to
 	// POST each run to a solve service, turning this engine into a
@@ -83,6 +100,20 @@ func Run(opts Options) (RunStats, error) {
 	}
 	if opts.TraceDir != "" && opts.Exec != nil {
 		return st, fmt.Errorf("campaign: tracing requires local execution (TraceDir is incompatible with Exec)")
+	}
+	if opts.OnSpan != nil && opts.Exec != nil {
+		return st, fmt.Errorf("campaign: span observation requires local execution (OnSpan is incompatible with Exec)")
+	}
+	traceAll, err := ParseTraceRanks(opts.TraceRanks)
+	if err != nil {
+		return st, err
+	}
+	sampleK, sampleN, err := ParseTraceSample(opts.TraceSample)
+	if err != nil {
+		return st, err
+	}
+	if opts.TraceDir == "" && (traceAll || sampleN > 1) {
+		return st, fmt.Errorf("campaign: trace ranks/sampling need a trace directory (TraceDir)")
 	}
 
 	var done map[string]bool
@@ -141,9 +172,10 @@ func Run(opts Options) (RunStats, error) {
 				if opts.Exec != nil {
 					rec = opts.Exec(&spec, j.Cell, j.Rep)
 				} else {
-					env := &ExecEnv{Ledger: opts.Ledger}
-					if opts.TraceDir != "" {
+					env := &ExecEnv{Ledger: opts.Ledger, OnSpan: opts.OnSpan}
+					if opts.TraceDir != "" && TraceSampled(spec.Seed, j.Cell.RunKey(j.Rep), sampleK, sampleN) {
 						env.Tracer = NewRunTracer(&spec, j.Cell, j.Rep)
+						env.TraceAllRanks = traceAll
 					}
 					rec = ExecuteRunEnv(&spec, j.Cell, j.Rep, env)
 					if _, err := WriteRunTrace(opts.TraceDir, env.Tracer, opts.TraceChrome); err != nil {

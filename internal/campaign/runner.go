@@ -338,6 +338,22 @@ type ExecEnv struct {
 	// across reruns (caveat: under rank-kill, survivor-side timings are
 	// scheduling-dependent in their trailing digits — see comm.Die).
 	Tracer *obs.RunTracer
+	// TraceAllRanks lifts the Tracer's rank-0 span filter: every rank's
+	// phase spans are captured through a race-safe per-rank fan-in and
+	// emitted in rank order after each attempt's world completes, so
+	// all-rank traces stay byte-deterministic. Opt-in because it grows
+	// trace volume from O(iterations) to O(iterations × ranks) — but it
+	// is what traceq's load-imbalance, wait-share and critical-path
+	// sections need. Ignored without a Tracer.
+	TraceAllRanks bool
+	// OnSpan, when non-nil, receives every rank's phase spans — start,
+	// end and wait in run-virtual time (monotone across global-restart
+	// attempts) — whether or not a Tracer is attached; the service's
+	// phase histograms hang off it. Spans arrive after each attempt's
+	// world completes, in rank order, from the goroutine executing the
+	// run; with a concurrent engine that means concurrently across
+	// runs, so the observer must be safe for concurrent use.
+	OnSpan func(rank int, phase string, start, end, wait float64)
 }
 
 // buildPrecond constructs the named preconditioner over the trusted
@@ -642,20 +658,38 @@ func ExecuteRunEnv(spec *Spec, cell Cell, rep int, env *ExecEnv) Record {
 			cfg.OnFailure = func(rank int, vt float64) {
 				tc.emit(rank, vt, "rank_kill", 0, 0, "mtbf strike")
 			}
-			// Phase spans are recorded from rank 0 only: the solves are
-			// SPMD-symmetric, so one rank's attribution is representative,
-			// and the filter keeps trace volume linear in iterations
-			// rather than in iterations × ranks.
-			cfg.OnSpan = func(rank int, phase string, start, end float64) {
-				if rank != 0 {
-					return
+		}
+		// Rank 0's spans always reach the tracer directly from rank 0's
+		// goroutine, so their interleave with the harness events that
+		// goroutine emits — and therefore the trace bytes of the default
+		// rank-0 mode — is identical whether or not any observer is on.
+		// Everything else rides the fan-in: each rank records onto its
+		// own slot during the attempt (one writer per slot, race-free by
+		// construction) and the flush below drains the slots in rank
+		// order once the world is done, keeping all-rank traces and
+		// observer deliveries deterministic under any scheduling. The
+		// default mode keeps rank 0 only because the solves are
+		// SPMD-symmetric: one rank's attribution is representative, and
+		// the filter keeps trace volume linear in iterations rather than
+		// iterations × ranks. ExecEnv's TraceAllRanks lifts it.
+		var fan *spanFanIn
+		if env.OnSpan != nil || (tc.enabled() && env.TraceAllRanks) {
+			fan = newSpanFanIn(cell.Ranks)
+		}
+		if tc.enabled() || fan != nil {
+			cfg.OnSpan = func(rank int, phase string, start, end, wait float64) {
+				if rank == 0 && tc.enabled() {
+					tc.emitSpanWait(rank, start, end, phase, wait)
 				}
-				tc.emitSpan(rank, start, end, phase)
+				if fan != nil {
+					fan.observe(rank, phase, start, end, wait)
+				}
 			}
 		}
 		err := comm.Run(cfg, func(c *comm.Comm) error {
 			return runRank(c, spec, cell, p, aseed, att, env, attempt, tc)
 		})
+		fan.flush(tc, env.TraceAllRanks, env.OnSpan)
 		if err != nil {
 			if isRankFailure(err) && cell.Fault.Model == FaultRankKill {
 				lost := att.death

@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TraceSampled reports whether the run identified by runKey belongs to
+// the deterministic k-of-n trace sample of a campaign seeded with seed.
+// The decision is a pure function of (seed, runKey) — an FNV-1a hash
+// over the seed bytes and the key, reduced modulo n — so the sampled
+// set is identical across reruns, shard layouts and worker counts, and
+// covers k/n of the grid in expectation. It is how all-rank tracing
+// over big grids bounds its disk footprint (`campaign -trace-sample`).
+func TraceSampled(seed uint64, runKey string, k, n int) bool {
+	if n <= 1 || k >= n {
+		return true
+	}
+	if k <= 0 {
+		return false
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (seed >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	for i := 0; i < len(runKey); i++ {
+		h ^= uint64(runKey[i])
+		h *= prime64
+	}
+	return h%uint64(n) < uint64(k)
+}
+
+// ParseTraceSample parses a -trace-sample value. "" and "1/1" keep
+// every run; "k/n" keeps the deterministic k-of-n sample with
+// 0 <= k <= n and n >= 1 (see TraceSampled).
+func ParseTraceSample(s string) (k, n int, err error) {
+	if s == "" {
+		return 1, 1, nil
+	}
+	ks, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("campaign: trace sample %q is not of the form k/n", s)
+	}
+	if k, err = strconv.Atoi(ks); err != nil {
+		return 0, 0, fmt.Errorf("campaign: trace sample %q: bad k: %v", s, err)
+	}
+	if n, err = strconv.Atoi(ns); err != nil {
+		return 0, 0, fmt.Errorf("campaign: trace sample %q: bad n: %v", s, err)
+	}
+	if n < 1 || k < 0 || k > n {
+		return 0, 0, fmt.Errorf("campaign: trace sample %q needs 0 <= k <= n and n >= 1", s)
+	}
+	return k, n, nil
+}
+
+// ParseTraceRanks parses a -trace-ranks value. "" and "0" keep the
+// default rank-0 span filter; "all" lifts it so every rank's phase
+// spans land in the trace (what traceq's imbalance, wait-share and
+// critical-path sections need).
+func ParseTraceRanks(s string) (all bool, err error) {
+	switch s {
+	case "", "0":
+		return false, nil
+	case "all":
+		return true, nil
+	}
+	return false, fmt.Errorf("campaign: trace ranks %q: want \"0\" or \"all\"", s)
+}

@@ -39,10 +39,69 @@ func (tc *traceCtx) emit(rank int, clock float64, name string, iter int, value f
 // emitSpan records one phase span whose attempt-local interval is
 // [start, end], offset to run time like every other event.
 func (tc *traceCtx) emitSpan(rank int, start, end float64, phase string) {
+	tc.emitSpanWait(rank, start, end, phase, 0)
+}
+
+// emitSpanWait is emitSpan carrying the span's wait attribution (see
+// comm.Config.OnSpan) onto the trace.
+func (tc *traceCtx) emitSpanWait(rank int, start, end float64, phase string, wait float64) {
 	if !tc.enabled() {
 		return
 	}
-	tc.tr.EmitSpan(rank, tc.base+start, tc.base+end, tc.attempt, phase)
+	tc.tr.EmitSpanWait(rank, tc.base+start, tc.base+end, tc.attempt, phase, wait)
+}
+
+// spanRec is one captured phase span, in attempt-local time.
+type spanRec struct {
+	phase            string
+	start, end, wait float64
+}
+
+// spanFanIn captures every rank's phase spans during one attempt's
+// world without cross-rank synchronisation: each rank appends to its
+// own slot — one writer per rank goroutine, so the capture is race-free
+// by construction — and the harness drains the slots in rank order
+// after comm.Run returns (the world's WaitGroup gives the drain a
+// happens-before edge over every append). The two-phase capture keeps
+// the tracer's mutex out of the rank hot loops, and makes the emission
+// order — and therefore the trace bytes — a pure function of the run,
+// independent of goroutine scheduling and engine worker count.
+type spanFanIn struct {
+	perRank [][]spanRec
+}
+
+// newSpanFanIn sizes a fan-in for one world's rank count.
+func newSpanFanIn(ranks int) *spanFanIn {
+	return &spanFanIn{perRank: make([][]spanRec, ranks)}
+}
+
+// observe is the comm.Config.OnSpan hook: record on the emitting rank's
+// slot, emit nothing yet.
+func (f *spanFanIn) observe(rank int, phase string, start, end, wait float64) {
+	f.perRank[rank] = append(f.perRank[rank], spanRec{phase: phase, start: start, end: end, wait: wait})
+}
+
+// flush drains the captured spans in rank order: ranks past 0 onto the
+// trace when allRanks is set (rank 0 already emitted directly from its
+// own goroutine, preserving its interleave with the harness events and
+// so the exact bytes of the default rank-0 trace), and every rank to
+// the programmatic onSpan observer, stamped in run-virtual time. Safe
+// on a nil fan-in and after a failed attempt — partially captured spans
+// flush like direct emission would have.
+func (f *spanFanIn) flush(tc *traceCtx, allRanks bool, onSpan func(rank int, phase string, start, end, wait float64)) {
+	if f == nil {
+		return
+	}
+	for rank, spans := range f.perRank {
+		for _, s := range spans {
+			if allRanks && rank != 0 {
+				tc.emitSpanWait(rank, s.start, s.end, s.phase, s.wait)
+			}
+			if onSpan != nil {
+				onSpan(rank, s.phase, tc.base+s.start, tc.base+s.end, s.wait)
+			}
+		}
+	}
 }
 
 // TraceFileName maps a run key to its trace file name: path separators

@@ -199,6 +199,14 @@ func (c *Comm) awaitCollLocked(s *collSlot) error {
 		}
 		s.cond.Wait()
 	}
+	// Wait attribution: the gap between this rank's clock and the last
+	// poster's is time spent idle behind the slowest participant. The
+	// remaining (complete − maxPost) collective cost is paid by every
+	// rank alike, so it counts as work, not wait. Both operands are
+	// deterministic virtual times, so the accrual is too.
+	if lag := s.maxPost - c.clock.Now(); lag > 0 {
+		c.waited += lag
+	}
 	c.clock.SyncTo(s.complete)
 	w.observeClock(c.clock.Now())
 	return nil
@@ -281,14 +289,14 @@ func (c *Comm) Barrier() error {
 // Allreduce combines each rank's data elementwise with op and returns the
 // combined vector to every rank. All ranks must pass equal-length slices.
 func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
-	start := c.SpanStart()
+	start, mark := c.SpanStart(), c.WaitMark()
 	s, err := c.enterColl(kindAllreduce, op, 0, data)
 	if err != nil {
 		return nil, err
 	}
 	out, err := c.waitColl(s, c.lastKey())
 	if err == nil {
-		c.SpanEnd(obs.PhaseAllreduce, start)
+		c.SpanEndWait(obs.PhaseAllreduce, start, mark)
 	}
 	return out, err
 }
@@ -299,7 +307,7 @@ func (c *Comm) Allreduce(data []float64, op Op) ([]float64, error) {
 // loop fully allocation-free, which is what lets the Krylov hot loops
 // reach 0 allocs/iteration.
 func (c *Comm) AllreduceInto(data []float64, op Op, out []float64) error {
-	start := c.SpanStart()
+	start, mark := c.SpanStart(), c.WaitMark()
 	s, err := c.enterColl(kindAllreduce, op, 0, data)
 	if err != nil {
 		return err
@@ -307,7 +315,7 @@ func (c *Comm) AllreduceInto(data []float64, op Op, out []float64) error {
 	if _, err = c.waitCollInto(s, c.lastKey(), out); err != nil {
 		return err
 	}
-	c.SpanEnd(obs.PhaseAllreduce, start)
+	c.SpanEndWait(obs.PhaseAllreduce, start, mark)
 	return nil
 }
 
@@ -346,7 +354,7 @@ func (c *Comm) Allgather(data []float64) ([]float64, error) {
 // (conservatively synchronising all participants — the common MPI
 // implementation behaviour for small messages).
 func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
-	start := c.SpanStart()
+	start, mark := c.SpanStart(), c.WaitMark()
 	s, err := c.enterColl(kindAllreduce, op, 0, data)
 	if err != nil {
 		return nil, err
@@ -355,7 +363,7 @@ func (c *Comm) Reduce(root int, data []float64, op Op) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.SpanEnd(obs.PhaseAllreduce, start)
+	c.SpanEndWait(obs.PhaseAllreduce, start, mark)
 	if c.rank != root {
 		return nil, nil
 	}

@@ -7,14 +7,15 @@ import "repro/internal/machine"
 // exactly one goroutine (the rank it belongs to) and is not safe for
 // concurrent use — same as an MPI rank.
 type Comm struct {
-	world *World
-	rank  int
-	rng   *machine.RNG
-	epoch int
-	seq   int // collective sequence number within the current epoch
-	clock machine.Clock
-	stats Stats
-	sbuf  [1]float64 // scratch for allocation-free scalar reductions
+	world  *World
+	rank   int
+	rng    *machine.RNG
+	epoch  int
+	seq    int // collective sequence number within the current epoch
+	clock  machine.Clock
+	stats  Stats
+	waited float64    // cumulative virtual seconds spent blocked behind slower ranks
+	sbuf   [1]float64 // scratch for allocation-free scalar reductions
 }
 
 // Stats accumulates per-rank activity counters, used by the experiment
@@ -79,7 +80,29 @@ func (c *Comm) SpanEnd(phase string, start float64) {
 	if c.world.onSpan == nil {
 		return
 	}
-	c.world.onSpan(c.rank, phase, start, c.clock.Now())
+	c.world.onSpan(c.rank, phase, start, c.clock.Now(), 0)
+}
+
+// WaitMark returns the rank's cumulative wait time: the virtual seconds
+// it has spent blocked behind slower participants — at collectives,
+// lagging behind the last poster; at receives, ahead of the message's
+// arrival. Like SpanStart it is a pure field read, so hot loops can
+// bracket an operation with WaitMark/SpanEndWait for free when no
+// observer is attached. The counter is monotone within one world; the
+// difference of two marks is the wait accrued between them.
+func (c *Comm) WaitMark() float64 { return c.waited }
+
+// SpanEndWait closes a phase span opened at start like SpanEnd, but
+// additionally attributes the wait accrued since mark (a WaitMark taken
+// alongside SpanStart) to the span — the share of [start, now] this
+// rank spent blocked behind the slowest participant rather than doing
+// its own work. Without an observer it is a no-op with zero
+// allocations.
+func (c *Comm) SpanEndWait(phase string, start, mark float64) {
+	if c.world.onSpan == nil {
+		return
+	}
+	c.world.onSpan(c.rank, phase, start, c.clock.Now(), c.waited-mark)
 }
 
 // SpanEnabled reports whether a span observer is attached — for callers

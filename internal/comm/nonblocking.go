@@ -58,10 +58,10 @@ func (r *Request) Wait() ([]float64, error) {
 	// Capture the kind before departing: the last rank out recycles the
 	// slot, so reading it after the wait would race a reusing post.
 	isAllreduce := r.s.kind == kindAllreduce
-	start := r.c.SpanStart()
+	start, mark := r.c.SpanStart(), r.c.WaitMark()
 	out, err := r.c.waitColl(r.s, r.key)
 	if err == nil && isAllreduce {
-		r.c.SpanEnd(obs.PhaseAllreduce, start)
+		r.c.SpanEndWait(obs.PhaseAllreduce, start, mark)
 	}
 	return out, err
 }
@@ -75,10 +75,10 @@ func (r *Request) WaitInto(out []float64) (int, error) {
 		return 0, r.err
 	}
 	isAllreduce := r.s.kind == kindAllreduce
-	start := r.c.SpanStart()
+	start, mark := r.c.SpanStart(), r.c.WaitMark()
 	n, err := r.c.waitCollInto(r.s, r.key, out)
 	if err == nil && isAllreduce {
-		r.c.SpanEnd(obs.PhaseAllreduce, start)
+		r.c.SpanEndWait(obs.PhaseAllreduce, start, mark)
 	}
 	return n, err
 }

@@ -122,6 +122,12 @@ func (c *Comm) recvMessage(src, tag int) ([]float64, error) {
 			m := &q.msgs[i]
 			if m.src == src && m.tag == tag && m.epoch == c.epoch {
 				data := m.data
+				// Arriving before the message does is wait time: the
+				// receiver idles until the sender's payload lands. A
+				// receiver that shows up after arrival accrues nothing.
+				if lag := m.arrive - c.clock.Now(); lag > 0 {
+					c.waited += lag
+				}
 				c.clock.SyncTo(m.arrive)
 				c.clock.Advance(w.cost.Overhead)
 				q.msgs = append(q.msgs[:i], q.msgs[i+1:]...)

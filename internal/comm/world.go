@@ -61,13 +61,17 @@ type Config struct {
 
 	// OnSpan, if non-nil, receives one closed phase span per instrumented
 	// operation: the emitting rank, the phase name (the obs.Phase*
-	// catalogue), and the span's start/end on that rank's virtual clock.
-	// It fires on the emitting rank's goroutine, outside all world locks,
-	// after the operation completed successfully. Span observation is
+	// catalogue), the span's start/end on that rank's virtual clock, and
+	// the wait — the virtual seconds of [start, end] the rank spent
+	// blocked behind the slowest participant (zero for spans that never
+	// block; see (*Comm).WaitMark). It fires on the emitting rank's
+	// goroutine, outside all world locks, after the operation completed
+	// successfully; with more than one rank it therefore fires
+	// concurrently, one goroutine per rank. Span observation is
 	// read-only — it never advances a clock or touches an RNG — so a
 	// world with an observer computes bit-identical results to one
-	// without. See (*Comm).SpanStart / (*Comm).SpanEnd.
-	OnSpan func(rank int, phase string, start, end float64)
+	// without. See (*Comm).SpanStart / (*Comm).SpanEnd / SpanEndWait.
+	OnSpan func(rank int, phase string, start, end, wait float64)
 }
 
 // World is a set of simulated ranks plus the shared machinery they
@@ -93,7 +97,7 @@ type World struct {
 
 	ledger    *Ledger
 	onFailure func(rank int, vtime float64)
-	onSpan    func(rank int, phase string, start, end float64)
+	onSpan    func(rank int, phase string, start, end, wait float64)
 	seedRNG   *machine.RNG
 	wg        sync.WaitGroup
 	errsMu    sync.Mutex

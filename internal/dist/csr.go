@@ -163,7 +163,7 @@ func (m *CSR) Apply(x, y []float64) error {
 	la.CheckLen("x", x, nl)
 	la.CheckLen("y", y, nl)
 	copy(m.xbuf[:nl], x)
-	halo := m.c.SpanStart()
+	halo, mark := m.c.SpanStart(), m.c.WaitMark()
 	// Sends are buffered and never block, so posting all sends before
 	// any receive cannot deadlock even when every rank applies at once.
 	for _, s := range m.sends {
@@ -182,7 +182,7 @@ func (m *CSR) Apply(x, y []float64) error {
 			m.xbuf[pos] = rcv.buf[k]
 		}
 	}
-	m.c.SpanEnd(obs.PhaseHaloExchange, halo)
+	m.c.SpanEndWait(obs.PhaseHaloExchange, halo, mark)
 	m.ApplyLocal(y)
 	return nil
 }

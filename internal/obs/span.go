@@ -60,6 +60,16 @@ func Phases() []string {
 // [start, end] in run-virtual time, attributed to phase. A nil tracer
 // discards the span for free — same contract as Emit.
 func (t *RunTracer) EmitSpan(rank int, start, end float64, attempt int, phase string) {
+	t.EmitSpanWait(rank, start, end, attempt, phase, 0)
+}
+
+// EmitSpanWait is EmitSpan carrying a wait attribution: the virtual
+// seconds of [start, end] the rank spent blocked behind the slowest
+// participant of a collective or the late arrival of a halo message
+// (see comm.Config.OnSpan). Zero wait writes the same event EmitSpan
+// does — the wait field is omitted from the wire format when zero, so
+// pre-wait traces and non-blocking spans are byte-unchanged.
+func (t *RunTracer) EmitSpanWait(rank int, start, end float64, attempt int, phase string, wait float64) {
 	if t == nil {
 		return
 	}
@@ -68,7 +78,7 @@ func (t *RunTracer) EmitSpan(rank int, start, end float64, attempt int, phase st
 	t.seq[rank] = seq + 1
 	t.events = append(t.events, Event{
 		T: start, Rank: rank, Seq: seq, Name: EventSpan,
-		Attempt: attempt, Dur: end - start, Detail: phase,
+		Attempt: attempt, Dur: end - start, Detail: phase, Wait: wait,
 	})
 	t.mu.Unlock()
 }

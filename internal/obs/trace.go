@@ -42,6 +42,12 @@ type Event struct {
 	// — and omitted — for point events, which keeps the added field
 	// invisible in pre-span traces.
 	Dur float64 `json:"dur,omitempty"`
+	// Wait is the span's wait attribution: the virtual seconds of the
+	// interval its rank spent blocked behind the slowest participant
+	// (collective lag, halo-message latency). Zero — and omitted — for
+	// point events, non-blocking spans, and traces written before wait
+	// attribution existed, so the field is wire-compatible both ways.
+	Wait float64 `json:"wait,omitempty"`
 	// Detail is a short human-readable qualifier; for span events it is
 	// the phase name.
 	Detail string `json:"detail,omitempty"`
@@ -206,6 +212,9 @@ func (t *RunTracer) WriteChromeTrace(w io.Writer) error {
 		}
 		if ev.Value != 0 {
 			args["value"] = ev.Value
+		}
+		if ev.Wait != 0 {
+			args["wait"] = ev.Wait
 		}
 		if ev.Detail != "" {
 			args["detail"] = ev.Detail

@@ -310,6 +310,17 @@ type JournalStats struct {
 	AppendErrors int64 `json:"append_errors"`
 	// Snapshots counts state snapshots written.
 	Snapshots int64 `json:"snapshots"`
+	// Bytes is the journal's current size: bytes appended since the
+	// last rotation. Together with Rotations it is the compaction
+	// signal — a journal that only ever grows is one that never
+	// snapshots.
+	Bytes int64 `json:"bytes"`
+	// Rotations counts journal truncations (one per snapshot that
+	// sealed the journal it captured).
+	Rotations int64 `json:"rotations"`
+	// SnapshotBytes is the size of the last snapshot written this
+	// process lifetime (0 before the first).
+	SnapshotBytes int64 `json:"snapshot_bytes"`
 	// SealedTail is true when the journal carried a torn trailing line
 	// at startup (the crash signature) and it was sealed.
 	SealedTail bool `json:"sealed_tail,omitempty"`
@@ -343,6 +354,7 @@ type durable struct {
 	cacheIndex    func() []string
 
 	hits, appends, appendErrors, snapshots atomic.Int64
+	bytes, rotations, snapshotBytes        atomic.Int64
 }
 
 // newDurable restores state from dir (snapshot first, then journal
@@ -404,6 +416,12 @@ func newDurable(dir string, fsync bool, snapshotEvery int, sink JournalSink, cac
 			return nil, err
 		}
 	}
+	// Seed the size gauge with what is already on disk, so a restarted
+	// server's journal_bytes reflects the real file, not just this
+	// process's appends.
+	if st, err := os.Stat(filepath.Join(dir, journalFile)); err == nil {
+		d.bytes.Store(st.Size())
+	}
 	d.sink = sink
 	return d, nil
 }
@@ -428,6 +446,7 @@ func (d *durable) append(e JournalEntry) {
 		return
 	}
 	d.appends.Add(1)
+	d.bytes.Add(int64(len(line)))
 }
 
 // lookup returns the journaled record for id, counting a hit.
@@ -527,6 +546,9 @@ func (d *durable) writeSnapshot(snap *Snapshot) {
 		d.appendErrors.Add(1)
 		return
 	}
+	if st, err := os.Stat(filepath.Join(d.dir, snapshotFile)); err == nil {
+		d.snapshotBytes.Store(st.Size())
+	}
 	d.mu.Lock()
 	err = d.sink.Rotate()
 	d.mu.Unlock()
@@ -535,6 +557,8 @@ func (d *durable) writeSnapshot(snap *Snapshot) {
 		return
 	}
 	d.snapshots.Add(1)
+	d.rotations.Add(1)
+	d.bytes.Store(0)
 }
 
 // close writes a final snapshot and releases the sink.
@@ -554,13 +578,16 @@ func (d *durable) stats() JournalStats {
 	records, pending := len(d.records), len(d.pending)
 	d.mu.Unlock()
 	return JournalStats{
-		Records:      int64(records),
-		Pending:      int64(pending),
-		Hits:         d.hits.Load(),
-		Appends:      d.appends.Load(),
-		AppendErrors: d.appendErrors.Load(),
-		Snapshots:    d.snapshots.Load(),
-		SealedTail:   d.sealedTail,
+		Records:       int64(records),
+		Pending:       int64(pending),
+		Hits:          d.hits.Load(),
+		Appends:       d.appends.Load(),
+		AppendErrors:  d.appendErrors.Load(),
+		Snapshots:     d.snapshots.Load(),
+		Bytes:         d.bytes.Load(),
+		Rotations:     d.rotations.Load(),
+		SnapshotBytes: d.snapshotBytes.Load(),
+		SealedTail:    d.sealedTail,
 	}
 }
 

@@ -27,6 +27,21 @@ func (s *Server) initMetrics() {
 	s.traceErrors = r.Counter("repro_trace_write_errors_total",
 		"Run traces that could not be persisted to the trace directory.")
 
+	// Per-phase virtual-duration histograms, fed by the campaign
+	// ExecEnv.OnSpan tap (see observeSpan): every rank's spans of every
+	// executed run, in virtual seconds, whether or not tracing is on.
+	// Restart-recovery is excluded — it re-labels lost work rather than
+	// timing a phase.
+	s.phaseSec = make(map[string]*obs.Histogram)
+	for _, p := range obs.Phases() {
+		if p == obs.PhaseRestartRecovery {
+			continue
+		}
+		s.phaseSec[p] = r.Histogram("repro_phase_vseconds",
+			"Virtual seconds per phase span across all ranks of executed runs, labelled by phase.",
+			phaseBuckets(), obs.Label{Key: "phase", Value: p})
+	}
+
 	r.GaugeFunc("repro_pool_workers",
 		"Fixed worker count of the solve pool.",
 		func() float64 { return float64(s.workers) })
@@ -109,6 +124,15 @@ func (s *Server) initMetrics() {
 	r.CounterFunc("repro_snapshot_writes_total",
 		"State snapshots written (each rotates the journal it captured).",
 		journalStat(func(js JournalStats) int64 { return js.Snapshots }))
+	r.GaugeFunc("repro_journal_bytes",
+		"Bytes appended to the journal since its last rotation — the compaction signal on long campaigns.",
+		journalStat(func(js JournalStats) int64 { return js.Bytes }))
+	r.CounterFunc("repro_journal_rotations_total",
+		"Journal rotations (one per snapshot that sealed and truncated the journal).",
+		journalStat(func(js JournalStats) int64 { return js.Rotations }))
+	r.GaugeFunc("repro_snapshot_bytes",
+		"Size of the last state snapshot written, in bytes.",
+		journalStat(func(js JournalStats) int64 { return js.SnapshotBytes }))
 
 	// Build identity: the Prometheus info-metric idiom — constant 1,
 	// with the identity in the labels, so a dashboard joins any series
@@ -119,6 +143,23 @@ func (s *Server) initMetrics() {
 		func() float64 { return 1 },
 		obs.Label{Key: "version", Value: bi.Version},
 		obs.Label{Key: "revision", Value: bi.Revision})
+}
+
+// phaseBuckets is the bucket layout of repro_phase_vseconds: phase
+// spans run from sub-microsecond collectives to multi-second
+// preconditioner setups in virtual time, so the buckets are decades
+// with a 1-2.5-5 split around the common span lengths.
+func phaseBuckets() []float64 {
+	return []float64{1e-7, 1e-6, 1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// observeSpan is the campaign ExecEnv.OnSpan observer: one histogram
+// sample per phase span, in virtual seconds. Called concurrently from
+// every worker's runs; histograms are atomic, so no extra locking.
+func (s *Server) observeSpan(rank int, phase string, start, end, wait float64) {
+	if h := s.phaseSec[phase]; h != nil {
+		h.Observe(end - start)
+	}
 }
 
 // BuildInfo is the binary's build identity, surfaced on /metrics as

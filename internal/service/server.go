@@ -26,6 +26,16 @@ type Options struct {
 	// campaign engine's TraceDir. Reruns of a run key overwrite its
 	// file — runs are deterministic, so the bytes are identical anyway.
 	TraceDir string
+	// TraceRanks selects which ranks' phase spans land in the traces:
+	// "" or "0" keep the rank-0 filter, "all" captures every rank (see
+	// campaign.ParseTraceRanks). Requires TraceDir.
+	TraceRanks string
+	// TraceSample deterministically samples which runs get traced:
+	// "k/n" traces run keys whose seeded hash falls in k of n residue
+	// classes, "" or "1/1" traces every run (see campaign.TraceSampled).
+	// Identical across restarts and client concurrency. Requires
+	// TraceDir.
+	TraceSample string
 	// JournalDir, when non-empty, enables durability: an append-only
 	// repro-journal/v1 run journal plus periodic repro-snapshot/v1
 	// state snapshots live there, a restarted server reloads both and
@@ -63,6 +73,9 @@ type Server struct {
 	workers  int
 	queue    int
 	traceDir string
+	traceAll bool
+	sampleK  int
+	sampleN  int
 	pool     *pool
 	cache    *Cache
 	durable  *durable
@@ -82,6 +95,7 @@ type Server struct {
 	queueWait   *obs.Histogram
 	execSec     *obs.Histogram
 	traceErrors *obs.Counter
+	phaseSec    map[string]*obs.Histogram
 
 	mu        sync.Mutex
 	received  int64
@@ -103,10 +117,24 @@ func New(opts Options) (*Server, error) {
 	if opts.Queue <= 0 {
 		opts.Queue = 4 * opts.Workers
 	}
+	traceAll, err := campaign.ParseTraceRanks(opts.TraceRanks)
+	if err != nil {
+		return nil, err
+	}
+	sampleK, sampleN, err := campaign.ParseTraceSample(opts.TraceSample)
+	if err != nil {
+		return nil, err
+	}
+	if opts.TraceDir == "" && (traceAll || sampleN > 1) {
+		return nil, fmt.Errorf("service: trace ranks/sampling need a trace directory (TraceDir)")
+	}
 	s := &Server{
 		workers:   opts.Workers,
 		queue:     opts.Queue,
 		traceDir:  opts.TraceDir,
+		traceAll:  traceAll,
+		sampleK:   sampleK,
+		sampleN:   sampleN,
 		pool:      newPool(opts.Workers, opts.Queue),
 		cache:     NewCache(),
 		mux:       http.NewServeMux(),
@@ -284,8 +312,13 @@ func (s *Server) execute(req *SolveRequest, progress func(attempt, iter int, rel
 	spec, cell := req.SpecCell()
 	env := s.cache.Env(progress)
 	env.Discards = discard
-	if s.traceDir != "" {
+	// Every run feeds the per-phase virtual-duration histograms on
+	// /metrics, traced or not: the observer tap is independent of trace
+	// persistence.
+	env.OnSpan = s.observeSpan
+	if s.traceDir != "" && campaign.TraceSampled(spec.Seed, cell.RunKey(req.Rep), s.sampleK, s.sampleN) {
 		env.Tracer = campaign.NewRunTracer(&spec, cell, req.Rep)
+		env.TraceAllRanks = s.traceAll
 	}
 	rec := campaign.ExecuteRunEnv(&spec, cell, req.Rep, env)
 	// The trace file leads with the request ID, so one glob joins a

@@ -1,0 +1,178 @@
+package traceq
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// spw is sp with wait attribution and an explicit attempt.
+func spw(rank int, start, dur float64, phase string, wait float64, attempt int) obs.Event {
+	return obs.Event{Rank: rank, T: start, Dur: dur, Name: obs.EventSpan,
+		Detail: phase, Wait: wait, Attempt: attempt}
+}
+
+// TestCriticalPathHandBuilt pins the critical-path reduction on a
+// timeline small enough to compute by hand. Two ranks, one collective:
+// rank 0 computes 6s of SpMV and reaches the allreduce last (wait 0);
+// rank 1 computes 4s and waits 2s. Segment one is therefore charged to
+// rank 0 (spmv 6, allreduce 4); the open tail after the collective
+// holds only rank 1's 3s halo exchange, so it is charged to rank 1.
+func TestCriticalPathHandBuilt(t *testing.T) {
+	tr := trace("gmres/none/poisson/p2/none/r0",
+		spw(0, 0, 6, obs.PhaseSpMV, 0, 0),
+		spw(0, 6, 4, obs.PhaseAllreduce, 0, 0),
+		spw(1, 0, 4, obs.PhaseSpMV, 0, 0),
+		spw(1, 4, 6, obs.PhaseAllreduce, 2, 0),
+		spw(1, 10, 3, obs.PhaseHaloExchange, 0, 0),
+		runEnd(13),
+	)
+	rp := AnalyzeTrace(tr)
+	if !rp.AllRank() {
+		t.Fatalf("AllRank=false (SpanRanks %d, Ranks %d)", rp.SpanRanks, rp.Ranks)
+	}
+	want := map[string]float64{
+		obs.PhaseSpMV:         6,
+		obs.PhaseAllreduce:    4,
+		obs.PhaseHaloExchange: 3,
+	}
+	for p, w := range want {
+		if got := rp.CritPath[p]; got != w {
+			t.Errorf("critpath %s: got %g, want %g", p, got, w)
+		}
+	}
+	if got := rp.CritTotal(); got != 13 {
+		t.Errorf("crit total %g, want 13", got)
+	}
+	if got := rp.CritShare(obs.PhaseSpMV); got != 6.0/13 {
+		t.Errorf("crit share spmv %g, want %g", got, 6.0/13)
+	}
+	if rp.RankWait[0] != 0 || rp.RankWait[1] != 2 {
+		t.Errorf("rank waits %v", rp.RankWait)
+	}
+	if got := rp.WaitShare(1); got != 2.0/13 {
+		t.Errorf("wait share rank 1: %g", got)
+	}
+	// Imbalance for spmv: max 6 over mean 5.
+	if got := rp.ImbalanceIndex(obs.PhaseSpMV); got != 6.0/5 {
+		t.Errorf("imbalance spmv %g, want %g", got, 6.0/5)
+	}
+}
+
+// TestCriticalPathSegmentsPerAttempt pins that attempts are segmented
+// independently: an allreduce end time in attempt 0 is not a barrier
+// for attempt 1's spans.
+func TestCriticalPathSegmentsPerAttempt(t *testing.T) {
+	tr := trace("gmres/none/poisson/p2/rankkill-mtbf15/r0",
+		// Attempt 0: rank 1 is slowest (wait 0); its 2s of spmv charge.
+		spw(0, 0, 1, obs.PhaseSpMV, 0, 0),
+		spw(0, 1, 3, obs.PhaseAllreduce, 1, 0),
+		spw(1, 0, 2, obs.PhaseSpMV, 0, 0),
+		spw(1, 2, 2, obs.PhaseAllreduce, 0, 0),
+		// Attempt 1: rank 0 is slowest; its 5s of precond-apply charge.
+		spw(0, 4, 5, obs.PhasePrecondApply, 0, 1),
+		spw(0, 9, 1, obs.PhaseAllreduce, 0, 1),
+		spw(1, 4, 3, obs.PhasePrecondApply, 0, 1),
+		spw(1, 7, 3, obs.PhaseAllreduce, 2, 1),
+		runEnd(10),
+	)
+	rp := AnalyzeTrace(tr)
+	want := map[string]float64{
+		obs.PhaseSpMV:         2, // attempt 0, rank 1
+		obs.PhasePrecondApply: 5, // attempt 1, rank 0
+		obs.PhaseAllreduce:    2 + 1,
+	}
+	for p, w := range want {
+		if got := rp.CritPath[p]; got != w {
+			t.Errorf("critpath %s: got %g, want %g", p, got, w)
+		}
+	}
+}
+
+// TestRobustEdges pins the friendly degradation of the parallel-cost
+// analytics: span-free traces, single-rank worlds and rank-0-filtered
+// traces must produce zero-valued (never NaN) per-run stats, and the
+// report must fall back to the pointer at -trace-ranks all instead of
+// degenerate tables.
+func TestRobustEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *obs.Trace
+	}{
+		{"span-free", trace("gmres/none/poisson/p2/none/r0", runEnd(0))},
+		{"single-rank", trace("gmres/none/poisson/p1/none/r0",
+			sp(0, 0, 2, obs.PhaseSpMV), runEnd(4))},
+		{"rank0-filtered", trace("gmres/none/poisson/p4/none/r0",
+			sp(0, 0, 2, obs.PhaseSpMV), runEnd(4))},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rp := AnalyzeTrace(c.tr)
+			if rp.AllRank() {
+				t.Fatal("AllRank true on a trace with no cross-rank signal")
+			}
+			for _, p := range AttributionPhases() {
+				for _, v := range []float64{rp.ImbalanceIndex(p), rp.CritShare(p), rp.Share(p)} {
+					if v != v || v < 0 {
+						t.Fatalf("%s produced NaN/negative", p)
+					}
+				}
+			}
+			if w := rp.WaitShare(0); w != 0 {
+				t.Errorf("wait share %g, want 0", w)
+			}
+			rep := BuildReport(Analyze([]*obs.Trace{c.tr}))
+			if bytes.Contains(rep.Markdown, []byte("NaN")) || bytes.Contains(rep.CSV, []byte("NaN")) {
+				t.Fatalf("NaN leaked into the report:\n%s", rep.Markdown)
+			}
+			if !bytes.Contains(rep.Markdown, []byte("-trace-ranks all")) {
+				t.Error("report does not point at -trace-ranks all")
+			}
+		})
+	}
+}
+
+// TestAllRankSectionsRender pins the report shape over a paired
+// all-rank trace set: the three parallel-cost sections render their
+// tables (including the ftgmres-vs-gmres critical-path delta) and the
+// CSV carries the imbalance/wait/critpath row kinds.
+func TestAllRankSectionsRender(t *testing.T) {
+	pairTrace := func(solver string, slowRank int) *obs.Trace {
+		extra := float64(slowRank) // skew rank 1 when slowRank=1
+		return trace(solver+"/jacobi/poisson/p2/none/r0",
+			spw(0, 0, 4, obs.PhaseSpMV, 0, 0),
+			spw(0, 4, 2+extra, obs.PhaseAllreduce, extra, 0),
+			spw(1, 0, 4+extra, obs.PhaseSpMV, 0, 0),
+			spw(1, 4+extra, 2, obs.PhaseAllreduce, 0, 0),
+			runEnd(6+extra),
+		)
+	}
+	a := Analyze([]*obs.Trace{pairTrace("gmres", 0), pairTrace("ftgmres", 1)})
+	rep := BuildReport(a)
+	for _, wantMD := range []string{
+		"## Load imbalance by phase",
+		"## Wait-time share per rank",
+		"## Critical path by phase",
+		"### ftgmres vs gmres on the critical path",
+		"| ftgmres | 2 |",
+		"| gmres | 2 |",
+	} {
+		if !bytes.Contains(rep.Markdown, []byte(wantMD)) {
+			t.Errorf("Markdown missing %q:\n%s", wantMD, rep.Markdown)
+		}
+	}
+	if bytes.Contains(rep.Markdown, []byte(noAllRank)) {
+		t.Error("all-rank traces still rendered the no-all-rank fallback")
+	}
+	for _, wantCSV := range []string{"\nimbalance,", "\nwait,", "\ncritpath,"} {
+		if !bytes.Contains(rep.CSV, []byte(wantCSV)) {
+			t.Errorf("CSV missing %q rows", wantCSV)
+		}
+	}
+	// Rendering stays a pure function with the new sections in play.
+	rep2 := BuildReport(a)
+	if !bytes.Equal(rep.Markdown, rep2.Markdown) || !bytes.Equal(rep.CSV, rep2.CSV) {
+		t.Error("report differs across renders of the same analysis")
+	}
+}

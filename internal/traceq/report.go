@@ -198,6 +198,242 @@ func sectionFTGMRESDeltas(b *bytes.Buffer, a *Analysis) {
 	b.WriteString("\n")
 }
 
+// allRankGroups groups the all-rank runs by (solver, ranks), both
+// sorted ascending — the aggregation axis of the parallel-cost
+// sections. Nil when the trace set has no all-rank runs.
+type allRankGroup struct {
+	solver string
+	ranks  int
+	runs   []*RunPhases
+}
+
+func allRankGroups(a *Analysis) []*allRankGroup {
+	type key struct {
+		solver string
+		ranks  int
+	}
+	idx := map[key]*allRankGroup{}
+	var order []key
+	for _, r := range a.Runs {
+		if !r.AllRank() {
+			continue
+		}
+		k := key{r.Solver, r.Ranks}
+		g, ok := idx[k]
+		if !ok {
+			g = &allRankGroup{solver: r.Solver, ranks: r.Ranks}
+			idx[k] = g
+			order = append(order, k)
+		}
+		g.runs = append(g.runs, r)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].solver != order[j].solver {
+			return order[i].solver < order[j].solver
+		}
+		return order[i].ranks < order[j].ranks
+	})
+	out := make([]*allRankGroup, 0, len(order))
+	for _, k := range order {
+		out = append(out, idx[k])
+	}
+	return out
+}
+
+// noAllRank is the shared friendly empty state of the parallel-cost
+// sections: single-rank runs and rank-0-filtered traces carry no
+// cross-rank signal, so the sections say how to record one instead of
+// rendering a degenerate table.
+const noAllRank = "No all-rank traces in this set (runs either kept only rank 0's spans\n" +
+	"or ran single-rank). Record them with `-trace-ranks all` to see\n" +
+	"cross-rank skew, wait time and the critical path.\n\n"
+
+// sectionImbalance renders the per-phase load-imbalance index over
+// all-rank runs: max/mean exclusive seconds across ranks, distributed
+// over each (solver, ranks) group's runs.
+func sectionImbalance(b *bytes.Buffer, a *Analysis) {
+	groups := allRankGroups(a)
+	b.WriteString("## Load imbalance by phase\n\n")
+	if len(groups) == 0 {
+		b.WriteString(noAllRank)
+		return
+	}
+	b.WriteString("Imbalance index = max/mean exclusive seconds across ranks (1 =\n")
+	b.WriteString("perfectly balanced, ranks = one rank does everything); distribution\n")
+	b.WriteString("over each group's runs, phases the group never entered omitted.\n\n")
+	b.WriteString("| solver | ranks | phase | runs | mean | p50 | p90 | p99 |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, g := range groups {
+		for _, p := range AttributionPhases() {
+			if p == PhaseUnattributed {
+				continue
+			}
+			var d dist
+			for _, r := range g.runs {
+				if idx := r.ImbalanceIndex(p); idx > 0 {
+					d.add(idx)
+				}
+			}
+			if len(d.vals) == 0 {
+				continue
+			}
+			fmt.Fprintf(b, "| %s | %d | %s | %d | %s | %s | %s | %s |\n",
+				g.solver, g.ranks, p, len(d.vals),
+				g4(d.mean()), g4(d.q(0.50)), g4(d.q(0.90)), g4(d.q(0.99)))
+		}
+	}
+	b.WriteString("\n")
+}
+
+// sectionWaitShare renders per-rank wait-time share over all-rank
+// runs: the fraction of a run's virtual time each rank spent blocked
+// behind the slowest participant of a collective or a late halo
+// message.
+func sectionWaitShare(b *bytes.Buffer, a *Analysis) {
+	groups := allRankGroups(a)
+	b.WriteString("## Wait-time share per rank\n\n")
+	if len(groups) == 0 {
+		b.WriteString(noAllRank)
+		return
+	}
+	b.WriteString("Share of a run's virtual time each rank spent blocked — waiting at a\n")
+	b.WriteString("collective behind the slowest poster, or at a halo receive for a\n")
+	b.WriteString("message still in flight. Distribution over each group's runs.\n\n")
+	b.WriteString("| solver | ranks | rank | mean | p50 | p90 | p99 |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, g := range groups {
+		for rank := 0; rank < g.ranks; rank++ {
+			var d dist
+			for _, r := range g.runs {
+				d.add(r.WaitShare(rank))
+			}
+			fmt.Fprintf(b, "| %s | %d | %d | %s | %s | %s | %s |\n",
+				g.solver, g.ranks, rank,
+				pct(d.mean()), pct(d.q(0.50)), pct(d.q(0.90)), pct(d.q(0.99)))
+		}
+	}
+	b.WriteString("\n")
+}
+
+// sectionCriticalPath renders the per-attempt critical-path
+// attribution over all-rank runs — which phases the slowest rank of
+// each inter-collective segment was running — and the ftgmres-vs-gmres
+// critical-path deltas over paired cells.
+func sectionCriticalPath(b *bytes.Buffer, a *Analysis) {
+	groups := allRankGroups(a)
+	b.WriteString("## Critical path by phase\n\n")
+	if len(groups) == 0 {
+		b.WriteString(noAllRank)
+		return
+	}
+	b.WriteString("Each attempt's timeline is segmented at its collective sync points\n")
+	b.WriteString("(every rank leaves an allreduce at the same stamp); each segment is\n")
+	b.WriteString("charged to its slowest rank — the one that arrived at the closing\n")
+	b.WriteString("collective last — under that rank's phases. Mean share of\n")
+	b.WriteString("critical-path seconds per phase, over each group's runs.\n\n")
+	b.WriteString("| solver | ranks |")
+	for _, p := range AttributionPhases() {
+		if p == PhaseUnattributed {
+			continue
+		}
+		fmt.Fprintf(b, " %s |", p)
+	}
+	b.WriteString("\n|---|---|")
+	for _, p := range AttributionPhases() {
+		if p == PhaseUnattributed {
+			continue
+		}
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, g := range groups {
+		fmt.Fprintf(b, "| %s | %d |", g.solver, g.ranks)
+		for _, p := range AttributionPhases() {
+			if p == PhaseUnattributed {
+				continue
+			}
+			var d dist
+			for _, r := range g.runs {
+				d.add(r.CritShare(p))
+			}
+			fmt.Fprintf(b, " %s |", pct(d.mean()))
+		}
+		b.WriteString("\n")
+	}
+	// The selective-reliability delta on the critical path: pair cells
+	// differing only in solver, mirroring sectionFTGMRESDeltas.
+	type pair struct{ gm, ft map[string]*dist }
+	pairs := map[string]*pair{}
+	var order []string
+	for _, r := range a.Runs {
+		if !r.AllRank() {
+			continue
+		}
+		solver, rest, ok := strings.Cut(r.Cell, "/")
+		if !ok || (solver != "gmres" && solver != "ftgmres") {
+			continue
+		}
+		pr, seen := pairs[rest]
+		if !seen {
+			pr = &pair{gm: map[string]*dist{}, ft: map[string]*dist{}}
+			pairs[rest] = pr
+			order = append(order, rest)
+		}
+		side := pr.gm
+		if solver == "ftgmres" {
+			side = pr.ft
+		}
+		for _, p := range AttributionPhases() {
+			d, ok := side[p]
+			if !ok {
+				d = &dist{}
+				side[p] = d
+			}
+			d.add(r.CritShare(p))
+		}
+	}
+	sort.Strings(order)
+	gm, ft := map[string]*dist{}, map[string]*dist{}
+	paired := 0
+	for _, rest := range order {
+		pr := pairs[rest]
+		if len(pr.gm) == 0 || len(pr.ft) == 0 {
+			continue
+		}
+		paired++
+		merge := func(into map[string]*dist, p string, side *dist) {
+			d, ok := into[p]
+			if !ok {
+				d = &dist{}
+				into[p] = d
+			}
+			d.vals = append(d.vals, side.vals...)
+		}
+		for _, p := range AttributionPhases() {
+			merge(gm, p, pr.gm[p])
+			merge(ft, p, pr.ft[p])
+		}
+	}
+	b.WriteString("\n### ftgmres vs gmres on the critical path\n\n")
+	if paired == 0 {
+		b.WriteString("No all-rank (ftgmres, gmres) cell pairs in this trace set.\n\n")
+		return
+	}
+	fmt.Fprintf(b, "Mean critical-path shares over the %d cell pairs where both solvers\n", paired)
+	b.WriteString("ran all-rank — what selective reliability costs where it cannot be\n")
+	b.WriteString("hidden: on the path every rank waits for.\n\n")
+	b.WriteString("| phase | gmres | ftgmres | delta (pp) |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, p := range AttributionPhases() {
+		if p == PhaseUnattributed {
+			continue
+		}
+		gmean, fmean := gm[p].mean(), ft[p].mean()
+		fmt.Fprintf(b, "| %s | %s | %s | %s |\n", p, pct(gmean), pct(fmean), g4((fmean-gmean)*100))
+	}
+	b.WriteString("\n")
+}
+
 // sectionRecovery renders the fault-to-recovery latency distribution:
 // the virtual time each global restart threw away, over every restart
 // in the trace set.
@@ -276,10 +512,16 @@ func bucketLo(label string) int {
 // csvReport renders the flat full-precision table. One row per
 // (section, key, phase):
 //
-//	section=run:      per-run attribution — seconds and share of that run
-//	section=cell:     per-cell attribution — mean seconds, mean/p50/p90/p99 share
-//	section=recovery: one row per restart — seconds lost
-//	section=discard:  one row per discard — ordinal in the phase column
+//	section=run:       per-run attribution — seconds and share of that run
+//	section=cell:      per-cell attribution — mean seconds, mean/p50/p90/p99 share
+//	section=recovery:  one row per restart — seconds lost
+//	section=discard:   one row per discard — ordinal in the phase column
+//	section=imbalance: per-run per-phase imbalance index (all-rank runs;
+//	                   index in the share column, max rank seconds in seconds)
+//	section=wait:      per-run per-rank wait (all-rank runs; rank<R> in the
+//	                   phase column, wait seconds and share of run time)
+//	section=critpath:  per-run critical-path attribution (all-rank runs;
+//	                   seconds on the path and share of path time)
 func csvReport(a *Analysis) []byte {
 	var b bytes.Buffer
 	b.WriteString("section,key,solver,phase,n,seconds,share,share_p50,share_p90,share_p99\n")
@@ -314,6 +556,31 @@ func csvReport(a *Analysis) []byte {
 		for _, o := range r.Discards {
 			fmt.Fprintf(&b, "discard,%s,%s,%d,1,,,,,\n", r.Key, r.Solver, o)
 		}
+		if r.AllRank() {
+			for _, p := range AttributionPhases() {
+				if p == PhaseUnattributed {
+					continue
+				}
+				if idx := r.ImbalanceIndex(p); idx > 0 {
+					maxSec := 0.0
+					for _, secs := range r.RankSeconds {
+						if v := secs[p]; v > maxSec {
+							maxSec = v
+						}
+					}
+					fmt.Fprintf(&b, "imbalance,%s,%s,%s,%d,%s,%s,,,\n",
+						r.Key, r.Solver, p, r.SpanRanks, g(maxSec), g(idx))
+				}
+				if v := r.CritPath[p]; v > 0 {
+					fmt.Fprintf(&b, "critpath,%s,%s,%s,1,%s,%s,,,\n",
+						r.Key, r.Solver, p, g(v), g(r.CritShare(p)))
+				}
+			}
+			for rank := 0; rank < r.Ranks; rank++ {
+				fmt.Fprintf(&b, "wait,%s,%s,rank%d,1,%s,%s,,,\n",
+					r.Key, r.Solver, rank, g(r.RankWait[rank]), g(r.WaitShare(rank)))
+			}
+		}
 	}
 	sort.Strings(cellOrder)
 	for _, cell := range cellOrder {
@@ -330,9 +597,12 @@ func csvReport(a *Analysis) []byte {
 
 // BuildReport renders the Analysis into its Markdown + CSV report:
 // phase attribution by solver (mean and distribution), the
-// ftgmres-vs-gmres phase deltas, the fault-to-recovery latency
-// distribution, and the discard ordinal histogram. Deterministic by
-// construction: every table follows sorted key order.
+// ftgmres-vs-gmres phase deltas, the parallel-cost sections over
+// all-rank traces (load imbalance, wait-time share per rank, the
+// per-attempt critical path with its own ftgmres-vs-gmres deltas), the
+// fault-to-recovery latency distribution, and the discard ordinal
+// histogram. Deterministic by construction: every table follows sorted
+// key order.
 func BuildReport(a *Analysis) *Report {
 	var b bytes.Buffer
 	cells := map[string]bool{}
@@ -342,6 +612,9 @@ func BuildReport(a *Analysis) *Report {
 	fmt.Fprintf(&b, "# Trace analytics: %d runs, %d cells\n\n", len(a.Runs), len(cells))
 	sectionAttribution(&b, a)
 	sectionFTGMRESDeltas(&b, a)
+	sectionImbalance(&b, a)
+	sectionWaitShare(&b, a)
+	sectionCriticalPath(&b, a)
 	sectionRecovery(&b, a)
 	sectionDiscards(&b, a)
 	b.WriteString("Full per-run and per-cell attribution is in the CSV twin of this report.\n")

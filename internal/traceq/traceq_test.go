@@ -62,8 +62,11 @@ func TestExclusiveAttribution(t *testing.T) {
 	}
 }
 
-// TestPerRankIndependence pins that ranks are swept separately:
-// same-interval spans on different ranks both count in full.
+// TestPerRankIndependence pins that ranks are swept separately and
+// averaged: same-interval spans on different ranks each count in full
+// on their own rank (RankSeconds), and Seconds is their mean, so a
+// run's attribution is comparable whether its trace kept one rank or
+// all of them.
 func TestPerRankIndependence(t *testing.T) {
 	tr := trace("gmres/none/poisson/p2/none/r0",
 		sp(0, 0, 5, obs.PhaseSpMV),
@@ -71,16 +74,22 @@ func TestPerRankIndependence(t *testing.T) {
 		runEnd(5),
 	)
 	rp := AnalyzeTrace(tr)
-	if got := rp.Seconds[obs.PhaseSpMV]; got != 10 {
-		t.Errorf("spmv: got %g, want 10 (both ranks)", got)
+	if got := rp.Seconds[obs.PhaseSpMV]; got != 5 {
+		t.Errorf("spmv: got %g, want 5 (mean over both ranks)", got)
 	}
-	// Over-attribution relative to one run's wall time clamps the
-	// remainder at zero rather than going negative.
+	for rank := 0; rank < 2; rank++ {
+		if got := rp.RankSeconds[rank][obs.PhaseSpMV]; got != 5 {
+			t.Errorf("rank %d spmv: got %g, want 5", rank, got)
+		}
+	}
 	if got := rp.Seconds[PhaseUnattributed]; got != 0 {
 		t.Errorf("unattributed: got %g, want 0", got)
 	}
-	if rp.Share(obs.PhaseSpMV) != 2 {
+	if rp.Share(obs.PhaseSpMV) != 1 {
 		t.Errorf("share: got %g", rp.Share(obs.PhaseSpMV))
+	}
+	if !rp.AllRank() || rp.SpanRanks != 2 || rp.Ranks != 2 {
+		t.Errorf("all-rank detection: AllRank=%v SpanRanks=%d Ranks=%d", rp.AllRank(), rp.SpanRanks, rp.Ranks)
 	}
 }
 
